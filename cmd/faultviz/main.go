@@ -1,0 +1,69 @@
+// Command faultviz dumps per-fault timelines of the paper's §3
+// microbenchmarks — the data behind Figures 3, 4 and 5 — so fault-buffer
+// behaviour (µTLB limits, scoreboard stalls, prefetch bypass, batching)
+// can be inspected fault by fault.
+//
+// Usage:
+//
+//	faultviz               # Listing-1 vector addition
+//	faultviz -prefetch     # the prefetch-instruction variant (Figure 5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guvm"
+	"guvm/internal/mem"
+	"guvm/internal/workloads"
+)
+
+func main() {
+	prefetch := flag.Bool("prefetch", false, "run the prefetch-instruction kernel (Figure 5)")
+	flag.Parse()
+
+	cfg := guvm.DefaultConfig()
+	cfg.Driver.PrefetchEnabled = false // expose raw fault mechanics
+	cfg.Driver.Upgrade64K = false
+	cfg.KeepFaults = true
+
+	var w workloads.Workload
+	if *prefetch {
+		w = workloads.NewVecAddPrefetch()
+	} else {
+		w = workloads.NewVecAddPaper()
+	}
+
+	res, err := guvm.NewSimulator(cfg).Run(w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+		os.Exit(1)
+	}
+
+	vector := func(p mem.PageID) (string, mem.PageID) {
+		names := []string{"a", "b", "c"}
+		for i := len(res.Bases) - 1; i >= 0; i-- {
+			if p >= mem.PageOf(res.Bases[i]) {
+				return names[i], p - mem.PageOf(res.Bases[i])
+			}
+		}
+		return "?", p
+	}
+
+	fmt.Println("idx  batch  time_us   vec  page  kind      sm  utlb  dup")
+	for i, f := range res.Faults {
+		v, off := vector(f.Page)
+		fmt.Printf("%-4d %-6d %9.2f %4s %5d  %-8s %3d %5d  %v\n",
+			i, res.FaultBatch[i], f.Time.Micros(), v, off, f.Kind, f.SM, f.UTLB, f.Dup)
+	}
+
+	fmt.Println()
+	fmt.Println("batch  faults  dur_us")
+	for _, b := range res.Batches {
+		fmt.Printf("%-6d %-7d %7.1f\n", b.ID, b.RawFaults, b.Duration().Micros())
+	}
+	fmt.Printf("\nkernel %.1f us, %d batches, %d faults fetched, %d re-faults\n",
+		res.KernelTime.Micros(), len(res.Batches),
+		res.DriverStats.TotalFaults, res.DeviceStats.Refaults)
+}

@@ -1,0 +1,98 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation from the simulator, writing aligned tables, CSV series, and
+// paper-vs-measured notes under an output directory.
+//
+// Usage:
+//
+//	paperfigs [-out results] [-only fig09,table2] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"guvm/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	verbose := flag.Bool("v", false, "print tables and notes to stdout")
+	flag.Parse()
+
+	var gens []experiments.Generator
+	if *only == "" {
+		gens = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			g, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			gens = append(gens, g)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
+
+	var summary strings.Builder
+	for _, g := range gens {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", g.ID, g.Title)
+		a := g.Run()
+		dir := filepath.Join(*out, a.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		for i, tb := range a.Tables {
+			name := filepath.Join(dir, fmt.Sprintf("table%d.txt", i))
+			if err := os.WriteFile(name, []byte(tb.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(name[:len(name)-4]+".csv", []byte(tb.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Println(tb.String())
+			}
+		}
+		for _, s := range a.Series {
+			name := filepath.Join(dir, s.Title+".csv")
+			if err := os.WriteFile(name, []byte(s.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose && len(s.Columns) >= 2 && len(s.Rows) > 1 {
+				// Quick-look shape check in the terminal.
+				fmt.Println(s.ASCIIPlot(s.Columns[0], s.Columns[1], 64, 12))
+			}
+		}
+		fmt.Fprintf(&summary, "## %s — %s\n\n", a.ID, a.Title)
+		for _, n := range a.Notes {
+			fmt.Fprintf(&summary, "- %s\n", n)
+			if *verbose {
+				fmt.Println("  " + n)
+			}
+		}
+		summary.WriteString("\n")
+		fmt.Printf("   wrote %s (%d tables, %d series) in %v\n",
+			dir, len(a.Tables), len(a.Series), time.Since(start).Round(time.Millisecond))
+	}
+	notesFile := filepath.Join(*out, "NOTES.md")
+	if err := os.WriteFile(notesFile, []byte(summary.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== summary notes: %s\n", notesFile)
+}

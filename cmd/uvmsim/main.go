@@ -1,0 +1,236 @@
+// Command uvmsim runs one workload through the UVM simulator and prints a
+// batch-level summary — the quickest way to explore driver policies.
+//
+// Usage:
+//
+//	uvmsim -workload stream -mb 64 -gpu-mb 256 -batch 256 -prefetch=true
+//	uvmsim -workload sgemm -n 2048 -gpu-mb 24 -prefetch=false -batches
+//	uvmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"guvm"
+	"guvm/internal/analysis"
+	"guvm/internal/stats"
+	"guvm/internal/trace"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+func buildWorkload(name string, mb uint64, n, hostThreads int, seed uint64) (workloads.Workload, error) {
+	bytes := mb << 20
+	switch name {
+	case "vecadd":
+		return workloads.NewVecAddPaper(), nil
+	case "vecadd-prefetch":
+		return workloads.NewVecAddPrefetch(), nil
+	case "vecadd-coalesced":
+		return workloads.NewVecAddCoalesced(), nil
+	case "regular":
+		return workloads.NewRegular(bytes, 160), nil
+	case "random":
+		return workloads.NewRandom(bytes, 160, 300, seed), nil
+	case "stream":
+		return workloads.NewStream(bytes, 24), nil
+	case "sgemm":
+		return workloads.NewSGEMM(n), nil
+	case "dgemm":
+		return workloads.NewDGEMM(n), nil
+	case "fft":
+		return workloads.NewFFT(int(bytes/8), 10), nil
+	case "gauss-seidel":
+		return workloads.NewGaussSeidel(n, 3), nil
+	case "hpgmg":
+		return workloads.NewHPGMG(bytes, hostThreads), nil
+	case "spmv":
+		return workloads.NewSpMV(n*n/64, 16, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+var workloadNames = []string{
+	"vecadd", "vecadd-prefetch", "vecadd-coalesced", "regular", "random", "stream",
+	"sgemm", "dgemm", "fft", "gauss-seidel", "hpgmg", "spmv",
+}
+
+func main() {
+	var (
+		name        = flag.String("workload", "stream", "workload name (see -list)")
+		mb          = flag.Uint64("mb", 64, "workload footprint knob in MiB (per array / fine grid)")
+		n           = flag.Int("n", 2048, "problem dimension for gemm/gauss-seidel")
+		gpuMB       = flag.Uint64("gpu-mb", 256, "GPU memory capacity in MiB")
+		batch       = flag.Int("batch", 256, "fault batch size limit")
+		prefetch    = flag.Bool("prefetch", true, "enable the density prefetcher")
+		hostThreads = flag.Int("host-threads", 1, "CPU threads for host-side phases")
+		seed        = flag.Uint64("seed", 11, "workload RNG seed")
+		explicit    = flag.Bool("explicit", false, "explicit (cudaMemcpy-style) management instead of UVM")
+		showBatches = flag.Bool("batches", false, "print per-batch records")
+		list        = flag.Bool("list", false, "list workloads and exit")
+
+		// §6-proposal driver extensions.
+		workers    = flag.Int("workers", 1, "parallel VABlock service workers")
+		lpt        = flag.Bool("lpt", false, "LPT load balancing across workers")
+		adaptive   = flag.Bool("adaptive-batch", false, "duplicate-adaptive batch sizing")
+		asyncUnmap = flag.Bool("async-unmap", false, "preemptive CPU unmapping at kernel launch")
+		xblock     = flag.Int("xblock-prefetch", 0, "cross-VABlock prefetch scope (blocks ahead)")
+		evict      = flag.String("evict", "lru", "eviction policy: lru, fifo, random, lfu")
+		analyze    = flag.Bool("analyze", false, "print post-run telemetry analysis")
+		traceFile  = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
+		csvOut     = flag.String("csv", "", "write per-batch records as CSV to this file")
+		faultsOut  = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloadNames {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	var w workloads.Workload
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", ferr)
+			os.Exit(2)
+		}
+		w, err = workloads.ParseTrace(f)
+		f.Close()
+	} else {
+		w, err = buildWorkload(*name, *mb, *n, *hostThreads, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := guvm.DefaultConfig()
+	cfg.Driver.GPUMemBytes = *gpuMB << 20
+	cfg.Driver.BatchSize = *batch
+	cfg.Driver.PrefetchEnabled = *prefetch
+	cfg.Driver.Upgrade64K = *prefetch
+	cfg.Driver.ServiceWorkers = *workers
+	cfg.Driver.LoadBalanceLPT = *lpt
+	cfg.Driver.AdaptiveBatch = *adaptive
+	cfg.Driver.AsyncUnmap = *asyncUnmap
+	cfg.Driver.CrossBlockPrefetch = *xblock
+	switch *evict {
+	case "lru":
+		cfg.Driver.Eviction = uvm.EvictLRU
+	case "fifo":
+		cfg.Driver.Eviction = uvm.EvictFIFO
+	case "random":
+		cfg.Driver.Eviction = uvm.EvictRandom
+	case "lfu":
+		cfg.Driver.Eviction = uvm.EvictLFU
+	default:
+		fmt.Fprintf(os.Stderr, "uvmsim: unknown eviction policy %q\n", *evict)
+		os.Exit(2)
+	}
+
+	if *faultsOut != "" {
+		cfg.KeepFaults = true
+	}
+	sim := guvm.NewSimulator(cfg)
+	var res *guvm.Result
+	if *explicit {
+		res, err = sim.RunExplicit(w)
+	} else {
+		res, err = sim.Run(w)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("kernel time     %.3f ms\n", res.KernelTime.Millis())
+	fmt.Printf("total time      %.3f ms\n", res.TotalTime.Millis())
+	fmt.Printf("batches         %d (%.3f ms total)\n", len(res.Batches), res.BatchTime().Millis())
+	fmt.Printf("faults          %d raw, %d stale\n", res.DriverStats.TotalFaults, res.DriverStats.StaleFaults)
+	fmt.Printf("migrated        %.1f MiB to GPU, %.1f MiB written back\n",
+		float64(res.LinkStats.BytesToGPU)/(1<<20), float64(res.LinkStats.BytesToHost)/(1<<20))
+	fmt.Printf("prefetched      %d pages\n", res.DriverStats.PrefetchedPages)
+	fmt.Printf("evictions       %d VABlocks\n", res.DriverStats.Evictions)
+	fmt.Printf("host OS         %d unmap calls (%d pages), %d DMA pages, %d radix nodes\n",
+		res.HostStats.UnmapCalls, res.HostStats.PagesUnmapped,
+		res.HostStats.DMAPagesMapped, res.HostStats.RadixNodes)
+
+	if len(res.Batches) > 0 {
+		durs := make([]float64, len(res.Batches))
+		for i, b := range res.Batches {
+			durs[i] = b.Duration().Micros()
+		}
+		s := stats.Summarize(durs)
+		sort.Float64s(durs)
+		fmt.Printf("batch time (us) mean %.1f  p50 %.1f  p95 %.1f  max %.1f\n",
+			s.Mean, stats.Percentile(durs, 50), stats.Percentile(durs, 95), s.Max)
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteBatchesCSV(f, res.Batches); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d batch records to %s\n", len(res.Batches), *csvOut)
+	}
+	if *faultsOut != "" {
+		f, err := os.Create(*faultsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteFaultsJSONL(f, res.Faults, res.FaultBatch); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d fault records to %s\n", len(res.Faults), *faultsOut)
+	}
+
+	if *analyze && len(res.Batches) > 0 {
+		fmt.Println()
+		d := analysis.Duplicates(res.Batches)
+		fmt.Printf("duplicates      %d raw -> %d unique (%.0f%% dup: %d type-1, %d type-2)\n",
+			d.Raw, d.Unique, d.DupPercent, d.Type1, d.Type2)
+		fmt.Printf("block imbalance Gini %.2f over per-VABlock fault counts\n",
+			analysis.VABlockImbalance(res.Batches))
+		gaps := analysis.ServiceGaps(res.Batches)
+		fmt.Printf("service gaps    mean %.1f us (max %.1f us)\n", gaps.Mean/1000, gaps.Max/1000)
+		sh := analysis.Shares(res.Batches)
+		fmt.Printf("time shares     fetch %.0f%%  dedup %.0f%%  blocks %.0f%%  populate %.0f%%  PT %.0f%%\n",
+			100*sh.Fetch, 100*sh.Dedup, 100*sh.BlockMgmt, 100*sh.Populate, 100*sh.PageTable)
+		fmt.Printf("                dma %.0f%%  unmap %.0f%%  transfer %.0f%%  evict %.0f%%  replay %.0f%%  other %.0f%%\n",
+			100*sh.DMAMap, 100*sh.Unmap, 100*sh.Transfer, 100*sh.Evict, 100*sh.Replay, 100*sh.Other)
+		phases := analysis.SegmentPhases(res.Batches, 8, 0.5)
+		fmt.Printf("phases          %d batching phases:", len(phases))
+		for _, p := range phases {
+			fmt.Printf(" [%d-%d]~%.0f", p.FirstBatch, p.LastBatch, p.MeanFaults)
+		}
+		fmt.Println()
+	}
+
+	if *showBatches {
+		fmt.Println("\nid  start_us  dur_us  raw  uniq  blocks  migKB  pf  evict  unmap_us  dma_us")
+		for _, b := range res.Batches {
+			fmt.Printf("%-3d %9.1f %7.1f %4d %5d %7d %6d %3d %6d %9.1f %7.1f\n",
+				b.ID, float64(b.Start)/1000, float64(b.Duration())/1000,
+				b.RawFaults, b.UniquePages, b.VABlocks, b.BytesMigrated>>10,
+				b.PrefetchedPages, b.Evictions,
+				float64(b.TUnmap)/1000, float64(b.TDMAMap)/1000)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command uvmsweep runs a driver-policy parameter grid over one workload
+// and emits a CSV of outcomes — the bulk-experimentation companion to
+// uvmsim. Sweeps cover batch size, prefetching, capacity (oversubscription
+// ratio), and eviction policy.
+//
+// Usage:
+//
+//	uvmsweep -workload gauss-seidel -n 3072 > sweep.csv
+//	uvmsweep -workload stream -mb 16 -batches 128,256,1024 -caps 24,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"guvm"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func buildWorkload(name string, mb uint64, n int, seed uint64) (func() workloads.Workload, error) {
+	switch name {
+	case "stream":
+		return func() workloads.Workload { return workloads.NewStream(mb<<20, 24) }, nil
+	case "regular":
+		return func() workloads.Workload { return workloads.NewRegular(mb<<20, 160) }, nil
+	case "random":
+		return func() workloads.Workload { return workloads.NewRandom(mb<<20, 160, 300, seed) }, nil
+	case "sgemm":
+		return func() workloads.Workload { return workloads.NewSGEMM(n) }, nil
+	case "gauss-seidel":
+		return func() workloads.Workload { return workloads.NewGaussSeidel(n, 3) }, nil
+	case "hpgmg":
+		return func() workloads.Workload { return workloads.NewHPGMG(mb<<20, 1) }, nil
+	case "spmv":
+		return func() workloads.Workload { return workloads.NewSpMV(n*n/64, 16, seed) }, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func main() {
+	var (
+		name     = flag.String("workload", "gauss-seidel", "workload to sweep")
+		mb       = flag.Uint64("mb", 64, "footprint knob in MiB")
+		n        = flag.Int("n", 3072, "problem dimension for gemm/gauss-seidel/spmv")
+		seed     = flag.Uint64("seed", 11, "workload seed")
+		batches  = flag.String("batches", "256", "comma-separated batch size limits")
+		caps     = flag.String("caps", "32,64,256", "comma-separated GPU capacities in MiB")
+		prefetch = flag.String("prefetch", "on,off", "prefetch settings to sweep (on,off)")
+		policies = flag.String("evict", "lru", "eviction policies to sweep (lru,fifo,random,lfu)")
+	)
+	flag.Parse()
+
+	mk, err := buildWorkload(*name, *mb, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+		os.Exit(2)
+	}
+	batchList, err := parseIntList(*batches)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+		os.Exit(2)
+	}
+	capList, err := parseIntList(*caps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+		os.Exit(2)
+	}
+	polMap := map[string]uvm.EvictionPolicy{
+		"lru": uvm.EvictLRU, "fifo": uvm.EvictFIFO,
+		"random": uvm.EvictRandom, "lfu": uvm.EvictLFU,
+	}
+
+	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
+	for _, bs := range batchList {
+		for _, capMB := range capList {
+			for _, pf := range strings.Split(*prefetch, ",") {
+				pfOn := strings.TrimSpace(pf) == "on"
+				for _, pol := range strings.Split(*policies, ",") {
+					policy, ok := polMap[strings.TrimSpace(pol)]
+					if !ok {
+						fmt.Fprintf(os.Stderr, "uvmsweep: unknown policy %q\n", pol)
+						os.Exit(2)
+					}
+					cfg := guvm.DefaultConfig()
+					cfg.Driver.BatchSize = bs
+					cfg.Driver.GPUMemBytes = uint64(capMB) << 20
+					cfg.Driver.PrefetchEnabled = pfOn
+					cfg.Driver.Upgrade64K = pfOn
+					cfg.Driver.Eviction = policy
+					res, err := guvm.NewSimulator(cfg).Run(mk())
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "uvmsweep: %s bs=%d cap=%d: %v\n", *name, bs, capMB, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%s,%d,%d,%v,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d\n",
+						res.Workload, bs, capMB, pfOn, policy,
+						res.KernelTime.Millis(), res.BatchTime().Millis(),
+						len(res.Batches), res.DriverStats.TotalFaults,
+						res.DriverStats.Evictions,
+						float64(res.BytesMigrated())/(1<<20),
+						res.DriverStats.PrefetchedPages)
+				}
+			}
+		}
+	}
+}

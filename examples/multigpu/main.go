@@ -1,0 +1,49 @@
+// Multi-GPU: several devices share the one host fault-servicing driver
+// (the paper's client-server architecture). Fault-bound workloads on every
+// GPU queue behind each other at the host — per-device performance decays
+// as devices are added, even though each GPU has its own memory and link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"guvm"
+	"guvm/internal/workloads"
+)
+
+func main() {
+	mk := func() workloads.Workload {
+		s := workloads.NewStream(16<<20, 24)
+		s.ComputePerChunk = 0 // fault-bound
+		return s
+	}
+
+	fmt.Println("devices  per-dev_kernel_ms  slowdown  queue_waits  total_queue_ms")
+	var solo float64
+	for _, n := range []int{1, 2, 3, 4} {
+		m := guvm.NewMultiSimulator(guvm.DefaultConfig(), n)
+		ws := make([]workloads.Workload, n)
+		for i := range ws {
+			ws[i] = mk()
+		}
+		results, err := m.RunConcurrent(ws)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var kernel float64
+		for _, r := range results {
+			kernel += r.KernelTime.Millis()
+		}
+		kernel /= float64(n)
+		if n == 1 {
+			solo = kernel
+		}
+		st := m.Arbiter.Stats()
+		fmt.Printf("%7d  %17.1f  %7.2fx  %11d  %14.1f\n",
+			n, kernel, kernel/solo, st.Queued, st.TotalWait.Millis())
+	}
+	fmt.Println("\nThe host driver is serial (§6); every added GPU queues its batches")
+	fmt.Println("behind the others'. Combine with -workers (see abl-parallel) to")
+	fmt.Println("explore how much driver parallelism recovers.")
+}

@@ -1,0 +1,44 @@
+// Oversubscription: run the same stencil workload at increasing ratios of
+// working set to GPU memory and watch eviction take over the batch
+// profile — the §5.1 phenomenon, including the Figure 13 cost levels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"guvm"
+	"guvm/internal/stats"
+	"guvm/internal/workloads"
+)
+
+func main() {
+	// Grid: 3072^2 floats = 36 MB.
+	const gridN = 3072
+	w := func() *workloads.GaussSeidel { return workloads.NewGaussSeidel(gridN, 3) }
+	gridMB := w().GridBytes() >> 20
+
+	fmt.Println("capacity  ratio  batches  evictions  kernel_ms  mean_evict_batch_us  mean_plain_batch_us")
+	for _, capMB := range []uint64{64, 40, 32, 24} {
+		cfg := guvm.DefaultConfig()
+		cfg.Driver.GPUMemBytes = capMB << 20
+		res, err := guvm.NewSimulator(cfg).Run(w())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var evicting, plain []float64
+		for _, b := range res.Batches {
+			if b.Evictions > 0 {
+				evicting = append(evicting, b.Duration().Micros())
+			} else {
+				plain = append(plain, b.Duration().Micros())
+			}
+		}
+		fmt.Printf("%5dMB  %4.0f%%  %7d  %9d  %9.1f  %19.1f  %19.1f\n",
+			capMB, 100*float64(gridMB)/float64(capMB), len(res.Batches),
+			res.DriverStats.Evictions, res.KernelTime.Millis(),
+			stats.Mean(evicting), stats.Mean(plain))
+	}
+	fmt.Println("\nEviction batches pay allocation failure + writeback + restart;")
+	fmt.Println("blocks evicted once and re-fetched skip the CPU unmap cost (Fig 13).")
+}

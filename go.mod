@@ -1,0 +1,3 @@
+module guvm
+
+go 1.22

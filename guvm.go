@@ -1,0 +1,253 @@
+// Package guvm is a discrete-event simulation of the NVIDIA Unified
+// Virtual Memory (UVM) system, reproducing the system under study in
+// Allen & Ge, "In-Depth Analyses of Unified Virtual Memory System for GPU
+// Accelerated Computing" (SC '21). It models the full fault path: GPU
+// fault generation (SMs, µTLBs, throttling, the fault buffer), the UVM
+// driver (fault batching, VABlock servicing, duplicate handling, density
+// prefetching, LRU eviction), the host OS costs on the fault path
+// (unmap_mapping_range, page population, radix-tree DMA bookkeeping), and
+// the PCIe interconnect.
+//
+// Quick start:
+//
+//	sim := guvm.NewSimulator(guvm.DefaultConfig())
+//	res, err := sim.Run(workloads.NewStream(64<<20, 128))
+//	// res.Batches holds per-batch telemetry; res.KernelTime the GPU time.
+//
+// One Simulator runs one workload; create a fresh Simulator per run.
+package guvm
+
+import (
+	"errors"
+	"fmt"
+
+	"guvm/internal/gpu"
+	"guvm/internal/hostos"
+	"guvm/internal/interconnect"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/trace"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+// SystemConfig assembles the configuration of every modeled component.
+type SystemConfig struct {
+	GPU    gpu.Config
+	Driver uvm.Config
+	Host   hostos.CostModel
+	Link   interconnect.Config
+	// MaxEvents bounds the simulation as a livelock backstop.
+	MaxEvents uint64
+	// KeepFaults retains every fetched fault record in the result
+	// (needed by fault-timeline experiments; memory-heavy).
+	KeepFaults bool
+	// KeepSpans retains per-batch serviced page spans.
+	KeepSpans bool
+}
+
+// DefaultConfig returns the experiment-scale profile: a Titan-V-like GPU
+// with a scaled 256 MB memory capacity so oversubscription studies run in
+// seconds (see DESIGN.md §1 on scaling).
+func DefaultConfig() SystemConfig {
+	return SystemConfig{
+		GPU:       gpu.DefaultTitanV(),
+		Driver:    uvm.DefaultConfig(),
+		Host:      hostos.DefaultCostModel(),
+		Link:      interconnect.DefaultPCIe3x16(),
+		MaxEvents: 500_000_000,
+	}
+}
+
+// TitanVConfig returns the full paper-testbed profile with 12 GB of GPU
+// memory. Workload footprints must be scaled up accordingly.
+func TitanVConfig() SystemConfig {
+	c := DefaultConfig()
+	c.Driver.GPUMemBytes = 12 << 30
+	return c
+}
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Workload string
+	// KernelTime is the summed duration of all GPU phases (the "Kernel"
+	// column of Table 4).
+	KernelTime sim.Time
+	// TotalTime is the end-to-end virtual time including host phases
+	// and trailing driver work.
+	TotalTime sim.Time
+	// Batches is the per-batch telemetry (aliases the collector's
+	// records).
+	Batches []trace.BatchRecord
+	// Faults holds every fetched fault when KeepFaults was set, with
+	// FaultBatch mapping each to its batch ID.
+	Faults     []gpu.Fault
+	FaultBatch []int
+	// Bases are the allocation base addresses, in workload Allocs order.
+	Bases []mem.Addr
+
+	DriverStats uvm.Stats
+	DeviceStats gpu.Stats
+	HostStats   hostos.Stats
+	LinkStats   interconnect.Stats
+}
+
+// BatchTime sums all batch durations.
+func (r *Result) BatchTime() sim.Time {
+	var t sim.Time
+	for i := range r.Batches {
+		t += r.Batches[i].Duration()
+	}
+	return t
+}
+
+// BytesMigrated sums to-GPU migration volume.
+func (r *Result) BytesMigrated() uint64 {
+	var n uint64
+	for i := range r.Batches {
+		n += r.Batches[i].BytesMigrated
+	}
+	return n
+}
+
+// Simulator wires one GPU, one driver, the host OS and the link onto a
+// shared discrete-event engine.
+type Simulator struct {
+	Config SystemConfig
+	Engine *sim.Engine
+	Device *gpu.Device
+	Driver *uvm.Driver
+	HostVM *hostos.VM
+
+	used bool
+}
+
+// NewSimulator builds a simulator. It panics on invalid configuration
+// (programming error), matching the underlying constructors.
+func NewSimulator(cfg SystemConfig) *Simulator {
+	eng := sim.NewEngine()
+	eng.MaxEvents = cfg.MaxEvents
+	vm := hostos.NewVM(cfg.Host)
+	link := interconnect.NewLink(cfg.Link)
+	drv := uvm.NewDriver(cfg.Driver, eng, vm, link)
+	drv.Collector.KeepFaults = cfg.KeepFaults
+	drv.Collector.KeepSpans = cfg.KeepSpans
+	dev := gpu.NewDevice(cfg.GPU, eng, drv)
+	drv.Attach(dev)
+	return &Simulator{
+		Config: cfg,
+		Engine: eng,
+		Device: dev,
+		Driver: drv,
+		HostVM: vm,
+	}
+}
+
+// Run executes the workload under UVM demand paging and returns its
+// telemetry. A Simulator is single-shot: a second Run returns an error.
+func (s *Simulator) Run(w workloads.Workload) (*Result, error) {
+	return s.run(w, false)
+}
+
+// RunExplicit executes the workload under explicit (cudaMemcpy-style)
+// management: every allocation is bulk-copied to the GPU before the first
+// kernel, so no faults occur. This is the Figure 1 baseline.
+func (s *Simulator) RunExplicit(w workloads.Workload) (*Result, error) {
+	return s.run(w, true)
+}
+
+func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
+	if s.used {
+		return nil, errors.New("guvm: Simulator is single-shot; create a new one per run")
+	}
+	s.used = true
+
+	allocs := w.Allocs()
+	bases := make([]mem.Addr, len(allocs))
+	var totalBytes uint64
+	for i, a := range allocs {
+		if a.Bytes == 0 {
+			return nil, fmt.Errorf("guvm: workload %q allocation %d is empty", w.Name(), i)
+		}
+		var opts []uvm.AllocOption
+		if a.HostInit && !explicit {
+			opts = append(opts, uvm.WithHostInit(a.HostThreads))
+		}
+		bases[i] = s.Driver.Alloc(a.Bytes, opts...)
+		totalBytes += a.Bytes
+	}
+	if explicit && totalBytes > s.Config.Driver.GPUMemBytes {
+		return nil, fmt.Errorf("guvm: explicit management cannot oversubscribe: need %d bytes, capacity %d",
+			totalBytes, s.Config.Driver.GPUMemBytes)
+	}
+
+	phases := w.Phases(bases)
+	var kernelTime sim.Time
+	var runErr error
+
+	var runPhase func(i int)
+	runPhase = func(i int) {
+		if i >= len(phases) {
+			return
+		}
+		ph := phases[i]
+		for _, ht := range ph.HostTouches {
+			if !explicit {
+				s.Driver.TouchHost(ht.Base, ht.Bytes, ht.Threads)
+			}
+		}
+		if ph.Kernel.NumBlocks == 0 {
+			runPhase(i + 1)
+			return
+		}
+		if s.Config.Driver.AsyncUnmap && !explicit {
+			// §6 extension: unmap CPU mappings preemptively as the
+			// application shifts to GPU compute, overlapping launch.
+			s.Driver.PreUnmapAllocations()
+		}
+		start := s.Engine.Now()
+		s.Device.LaunchKernel(ph.Kernel, func() {
+			kernelTime += s.Engine.Now() - start
+			runPhase(i + 1)
+		})
+	}
+
+	s.Engine.Schedule(0, func() {
+		if explicit {
+			var copyCost sim.Time
+			for i, a := range allocs {
+				copyCost += s.Driver.ExplicitCopyToGPU(bases[i], a.Bytes)
+			}
+			s.Engine.Schedule(copyCost, func() { runPhase(0) })
+			return
+		}
+		runPhase(0)
+	})
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("guvm: simulation panicked: %v", r)
+			}
+		}()
+		s.Engine.Run()
+	}()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	col := s.Driver.Collector
+	return &Result{
+		Workload:    w.Name(),
+		KernelTime:  kernelTime,
+		TotalTime:   s.Engine.Now(),
+		Batches:     col.Batches,
+		Faults:      col.Faults,
+		FaultBatch:  col.FaultBatch,
+		Bases:       bases,
+		DriverStats: s.Driver.Stats(),
+		DeviceStats: s.Device.Stats(),
+		HostStats:   s.HostVM.Stats(),
+		LinkStats:   s.Driver.Link().Stats(),
+	}, nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"guvm"
+	"guvm/internal/report"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+// Ablations evaluates the §6 "Discussion" improvements the paper proposes
+// but does not build. Each ablation turns exactly one knob against the
+// shipped-driver baseline.
+
+// AblParallel evaluates parallel per-VABlock servicing. Paper §6: "The
+// current architecture would lend itself towards straightforward
+// parallelization among VABlocks, but our workload analysis shows this
+// would create a very imbalanced workload." Expectation: scattered
+// workloads (random) scale; concentrated ones (gauss-seidel) barely move;
+// LPT load balancing recovers a little.
+func AblParallel() *Artifact {
+	a := &Artifact{ID: "abl-parallel", Title: "Parallel VABlock servicing (§6 proposal)"}
+	t := &report.Table{
+		Title:   "Batch time (ms) by driver worker count",
+		Headers: []string{"workload", "serial", "2w", "4w", "4w_LPT", "speedup_4w"},
+	}
+	cases := []struct {
+		name string
+		mk   func() workloads.Workload
+	}{
+		{"random", func() workloads.Workload { return workloads.NewRandom(256<<20, 160, 200, 11) }},
+		{"gauss-seidel", func() workloads.Workload { return workloads.NewGaussSeidel(3072, 2) }},
+	}
+	type cfgVariant struct {
+		workers int
+		lpt     bool
+	}
+	variants := []cfgVariant{{1, false}, {2, false}, {4, false}, {4, true}}
+	speedups := map[string]float64{}
+	for _, c := range cases {
+		var batchMs []float64
+		for _, v := range variants {
+			cfg := noPrefetch(baseConfig())
+			cfg.Driver.GPUMemBytes = 512 << 20
+			cfg.Driver.ServiceWorkers = v.workers
+			cfg.Driver.LoadBalanceLPT = v.lpt
+			res := run(cfg, c.mk())
+			batchMs = append(batchMs, ms(res.BatchTime()))
+		}
+		sp := batchMs[0] / batchMs[2]
+		speedups[c.name] = sp
+		t.AddRow(c.name, batchMs[0], batchMs[1], batchMs[2], batchMs[3], sp)
+	}
+	a.Tables = append(a.Tables, t)
+	a.Notef("paper: per-VABlock parallelism is limited by workload imbalance; measured 4-worker batch-time speedup %.2fx for scattered random vs %.2fx for concentrated gauss-seidel",
+		speedups["random"], speedups["gauss-seidel"])
+	return a
+}
+
+// AblAdaptiveBatch evaluates duplicate-adaptive batch sizing. Paper §6:
+// "A simple improvement could be to tune batch size based on the number
+// of duplicate faults received."
+func AblAdaptiveBatch() *Artifact {
+	a := &Artifact{ID: "abl-adaptive", Title: "Duplicate-adaptive batch sizing (§6 proposal)"}
+	t := &report.Table{
+		Title:   "Fixed vs adaptive batch size (dup-heavy sgemm)",
+		Headers: []string{"policy", "kernel_ms", "batches", "dups_fetched", "final_eff_batch"},
+	}
+	mk := func() workloads.Workload {
+		w := workloads.NewSGEMM(2048) // fine tiles: dup-heavy panel sharing
+		return w
+	}
+	var kernels []float64
+	for _, adaptive := range []bool{false, true} {
+		cfg := noPrefetch(baseConfig())
+		cfg.Driver.BatchSize = 1024
+		cfg.Driver.AdaptiveBatch = adaptive
+		s := guvm.NewSimulator(cfg)
+		res, err := s.Run(mk())
+		if err != nil {
+			panic(err)
+		}
+		dups := 0
+		for _, b := range res.Batches {
+			dups += b.DupFaults()
+		}
+		name := "fixed-1024"
+		if adaptive {
+			name = "adaptive"
+		}
+		t.AddRow(name, ms(res.KernelTime), len(res.Batches), dups, s.Driver.EffectiveBatchSize())
+		kernels = append(kernels, ms(res.KernelTime))
+	}
+	a.Tables = append(a.Tables, t)
+	a.Notef("adaptive batch sizing vs fixed large cap on a duplicate-heavy workload: %.1fms vs %.1fms kernel (%.0f%% change)",
+		kernels[1], kernels[0], 100*(kernels[0]-kernels[1])/kernels[0])
+	return a
+}
+
+// AblAsyncUnmap evaluates preemptive unmapping. Paper §6: "performing
+// these operations asynchronously and preemptively may be preferable when
+// an application shifts to GPU compute." Expectation: the Figure-11
+// multithreaded HPGMG penalty largely disappears.
+func AblAsyncUnmap() *Artifact {
+	a := &Artifact{ID: "abl-asyncunmap", Title: "Preemptive CPU unmapping (§6 proposal)"}
+	t := &report.Table{
+		Title:   "HPGMG, 32 host threads: fault-path vs preemptive unmapping",
+		Headers: []string{"policy", "kernel_ms", "faultpath_unmap_ms", "preemptive_unmap_ms"},
+	}
+	mk := func() workloads.Workload {
+		w := workloads.NewHPGMG(64<<20, 32)
+		w.Blocks = 16
+		w.ChunkPages = 16
+		w.HostTouchFraction = 1.0
+		return w
+	}
+	var kernels []float64
+	for _, async := range []bool{false, true} {
+		cfg := baseConfig()
+		cfg.Driver.AsyncUnmap = async
+		res := run(cfg, mk())
+		var unmap float64
+		for _, b := range res.Batches {
+			unmap += us(b.TUnmap)
+		}
+		name := "fault-path"
+		if async {
+			name = "preemptive"
+		}
+		t.AddRow(name, ms(res.KernelTime), unmap/1000, float64(res.DriverStats.AsyncUnmapTime)/1e6)
+		kernels = append(kernels, ms(res.KernelTime))
+	}
+	a.Tables = append(a.Tables, t)
+	a.Notef("moving unmap_mapping_range off the fault path cuts multithreaded HPGMG kernel time %.1fms -> %.1fms (%.2fx)",
+		kernels[0], kernels[1], kernels[0]/kernels[1])
+	return a
+}
+
+// AblCrossBlockPrefetch evaluates prefetch scope beyond one VABlock.
+// Paper §6: "increasing the prefetching scope to more than one allocation
+// ... could mitigate these issues but may also complicate eviction."
+// Expectation: sequential streams gain (first-touch batches are
+// pre-paid); oversubscribed irregular workloads lose (eviction interplay).
+func AblCrossBlockPrefetch() *Artifact {
+	a := &Artifact{ID: "abl-xblock", Title: "Cross-VABlock prefetch scope (§6 proposal)"}
+	t := &report.Table{
+		Title:   "Prefetch scope: within-block (shipped) vs +2 blocks ahead",
+		Headers: []string{"scenario", "scope", "kernel_ms", "batches", "evictions"},
+	}
+	type scenario struct {
+		name  string
+		capMB uint64
+		mk    func() workloads.Workload
+	}
+	scenarios := []scenario{
+		{"stream in-core", 256, func() workloads.Workload {
+			return workloads.NewStream(32<<20, 12)
+		}},
+		{"random oversubscribed", 48, func() workloads.Workload {
+			return workloads.NewRandom(96<<20, 80, 200, 3)
+		}},
+	}
+	gains := map[string]float64{}
+	for _, sc := range scenarios {
+		var kernels []float64
+		for _, scope := range []int{0, 2} {
+			cfg := baseConfig()
+			cfg.Driver.GPUMemBytes = sc.capMB << 20
+			cfg.Driver.CrossBlockPrefetch = scope
+			res := run(cfg, sc.mk())
+			label := "within-block"
+			if scope > 0 {
+				label = "+2 blocks"
+			}
+			t.AddRow(sc.name, label, ms(res.KernelTime), len(res.Batches), res.DriverStats.Evictions)
+			kernels = append(kernels, ms(res.KernelTime))
+		}
+		gains[sc.name] = kernels[0] / kernels[1]
+	}
+	a.Tables = append(a.Tables, t)
+	a.Notef("cross-block prefetch: sequential stream %.2fx, oversubscribed random %.2fx (values <1 mean it hurts — the predicted eviction interplay)",
+		gains["stream in-core"], gains["random oversubscribed"])
+	return a
+}
+
+// AblEvictionPolicy compares replacement policies. Paper §5.4: "This LRU
+// policy may not be optimal, as some evicted pages are needed shortly and
+// must again be migrated back."
+func AblEvictionPolicy() *Artifact {
+	a := &Artifact{ID: "abl-eviction", Title: "VABlock eviction policy"}
+	t := &report.Table{
+		Title:   "Eviction policy under cyclic reuse (gauss-seidel, ~116% oversub)",
+		Headers: []string{"policy", "kernel_ms", "evictions", "bytes_rewritten_MB"},
+	}
+	for _, pol := range []uvm.EvictionPolicy{uvm.EvictLRU, uvm.EvictFIFO, uvm.EvictRandom, uvm.EvictLFU} {
+		cfg := baseConfig()
+		cfg.Driver.GPUMemBytes = 32 << 20
+		cfg.Driver.Eviction = pol
+		res := run(cfg, workloads.NewGaussSeidel(3072, 3))
+		t.AddRow(pol.String(), ms(res.KernelTime), res.DriverStats.Evictions,
+			float64(res.LinkStats.BytesToHost)/(1<<20))
+	}
+	a.Tables = append(a.Tables, t)
+	a.Notes = append(a.Notes,
+		"paper: LRU degrades to earliest-allocated under dense access and re-evicts soon-needed data; sequential sweeps make LRU pathological (evicts exactly what the next sweep needs first), which random placement partially avoids",
+		"lfu uses the GPU access counters (the page-hit information §5.4 notes the shipped driver lacks)")
+	return a
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"guvm/internal/report"
+	"guvm/internal/sim"
+	"guvm/internal/workloads"
+)
+
+// AblHardware sweeps the two GPU fault-generation constraints the paper
+// reverse-engineers in §3 — the per-µTLB outstanding-fault limit (56 on
+// Volta) and the per-SM fault-rate throttle — quantifying how hardware
+// generosity would change driver workloads. This is the sensitivity
+// analysis behind the paper's observation that "the number of total
+// faults available per batch is limited by ... the limitations on total
+// fault generation", and behind related work (Kim et al.) that enlarges
+// fault capacity in simulation.
+func AblHardware() *Artifact {
+	a := &Artifact{ID: "abl-hardware", Title: "GPU fault-generation constraint sensitivity"}
+
+	mk := func() workloads.Workload { return workloads.NewRegular(64<<20, 160) }
+
+	// Sweep 1: µTLB outstanding-fault capacity.
+	t1 := &report.Table{
+		Title:   "µTLB outstanding-fault limit (regular, no prefetch)",
+		Headers: []string{"utlb_limit", "kernel_ms", "batches", "avg_unique_per_batch"},
+	}
+	uniqueAt := map[int]float64{}
+	for _, limit := range []int{14, 28, 56, 112, 224} {
+		cfg := noPrefetch(baseConfig())
+		cfg.GPU.MaxFaultsPerUTLB = limit
+		cfg.Driver.BatchSize = 1024
+		res := run(cfg, mk())
+		var uniq float64
+		for _, b := range res.Batches {
+			uniq += float64(b.UniquePages)
+		}
+		avg := uniq / float64(len(res.Batches))
+		uniqueAt[limit] = avg
+		t1.AddRow(limit, ms(res.KernelTime), len(res.Batches), avg)
+	}
+	a.Tables = append(a.Tables, t1)
+
+	// Sweep 2: SM fault-rate throttle gap, on the single-warp Listing-1
+	// microbenchmark where the throttle (not the µTLB) is the binding
+	// constraint on fault issue.
+	t2 := &report.Table{
+		Title:   "SM fault-rate throttle (Listing-1 vecadd, single warp)",
+		Headers: []string{"throttle_gap_ns", "kernel_us", "batches"},
+	}
+	var kernels []float64
+	for _, gap := range []sim.Time{125, 500, 2000, 8000} {
+		cfg := noPrefetch(baseConfig())
+		cfg.GPU.FaultThrottleGap = gap * sim.Nanosecond
+		res := run(cfg, workloads.NewVecAddPaper())
+		t2.AddRow(int64(gap), us(res.KernelTime), len(res.Batches))
+		kernels = append(kernels, us(res.KernelTime))
+	}
+	a.Tables = append(a.Tables, t2)
+
+	a.Notef("paper §3: fault generation is hardware-bounded; a µTLB limit of 14 caps unique faults per batch at %.0f vs %.0f at the Volta limit of 56 (batch cap 1024)",
+		uniqueAt[14], uniqueAt[56])
+	a.Notef("the SM throttle governs single-warp fault issue: 125ns -> 8us gap slows the Listing-1 kernel %.0fus -> %.0fus",
+		kernels[0], kernels[3])
+	return a
+}

@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulator. Each generator runs the paper's workload
+// scenario (scaled per DESIGN.md §1), extracts the same statistic the
+// paper plots, and records paper-vs-measured notes for EXPERIMENTS.md.
+//
+// Absolute numbers are not expected to match the authors' Titan V testbed;
+// the *shape* claims (who wins, by what factor, where the crossovers and
+// cost levels fall) are what each generator checks.
+package experiments
+
+import (
+	"fmt"
+
+	"guvm"
+	"guvm/internal/gpu"
+	"guvm/internal/mem"
+	"guvm/internal/report"
+	"guvm/internal/sim"
+	"guvm/internal/trace"
+	"guvm/internal/workloads"
+)
+
+// Artifact is the output of one experiment: tables and/or figure series
+// plus observations comparing against the paper.
+type Artifact struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Series []*report.Series
+	Notes  []string
+}
+
+// Notef appends a formatted observation.
+func (a *Artifact) Notef(format string, args ...interface{}) {
+	a.Notes = append(a.Notes, fmt.Sprintf(format, args...))
+}
+
+// Generator names one experiment.
+type Generator struct {
+	ID    string
+	Title string
+	Run   func() *Artifact
+}
+
+// All returns every experiment in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig01", "Access latency: explicit vs UVM vs UVM oversubscribed", Fig01},
+		{"fig03", "Vector-addition faults as a relative time series (Listing 1)", Fig03},
+		{"fig04", "Vector-addition faults with real-time arrival timestamps", Fig04},
+		{"fig05", "Prefetch instructions fill whole fault batches from one warp", Fig05},
+		{"table2", "Per-SM source statistics in each batch", Table2},
+		{"fig06", "Best fit of batch time vs data migrated", Fig06},
+		{"fig07", "Share of batch time spent in data transfer (sgemm)", Fig07},
+		{"fig08", "Batch sizes over time, raw vs deduplicated (stream, sgemm)", Fig08},
+		{"fig09", "Performance vs fault batch size (sgemm)", Fig09},
+		{"table3", "VABlock source statistics in a batch", Table3},
+		{"fig10", "Batch time vs migration size, by VABlock count", Fig10},
+		{"fig11", "HPGMG host-thread count vs CPU unmapping cost", Fig11},
+		{"fig12", "sgemm under oversubscription and eviction", Fig12},
+		{"fig13", "stream under oversubscription: eviction cost levels", Fig13},
+		{"fig14", "sgemm with prefetching: batch profile and DMA outliers", Fig14},
+		{"fig15", "dgemm with eviction + prefetching: combined profile", Fig15},
+		{"table4", "Batch and kernel times with and without prefetching", Table4},
+		{"fig16", "Gauss-Seidel case study (~16% oversubscription)", Fig16},
+		{"fig17", "HPGMG case study (~25% oversubscription)", Fig17},
+		// Ablations of the §6 proposed improvements (not paper figures).
+		{"abl-parallel", "Ablation: parallel VABlock servicing", AblParallel},
+		{"abl-adaptive", "Ablation: duplicate-adaptive batch sizing", AblAdaptiveBatch},
+		{"abl-asyncunmap", "Ablation: preemptive CPU unmapping", AblAsyncUnmap},
+		{"abl-xblock", "Ablation: cross-VABlock prefetch scope", AblCrossBlockPrefetch},
+		{"abl-eviction", "Ablation: eviction policy", AblEvictionPolicy},
+		{"abl-hardware", "Ablation: GPU fault-generation constraints", AblHardware},
+		// Extension beyond the paper's single-GPU scope.
+		{"ext-multigpu", "Extension: multi-GPU interference via the shared driver", ExtMultiGPU},
+	}
+}
+
+// Find returns the generator with the given ID.
+func Find(id string) (Generator, bool) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// baseConfig is the shared experiment profile: the paper's 80-SM Titan-V
+// GPU with a scaled memory capacity that individual experiments override.
+func baseConfig() guvm.SystemConfig {
+	cfg := guvm.DefaultConfig()
+	cfg.Driver.GPUMemBytes = 256 << 20
+	return cfg
+}
+
+// noPrefetch disables the prefetcher and the 64K upgrade.
+func noPrefetch(cfg guvm.SystemConfig) guvm.SystemConfig {
+	cfg.Driver.PrefetchEnabled = false
+	cfg.Driver.Upgrade64K = false
+	return cfg
+}
+
+// run executes a workload, panicking on error (experiments are
+// deterministic; an error is a bug).
+func run(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
+	res, err := guvm.NewSimulator(cfg).Run(w)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", w.Name(), err))
+	}
+	return res
+}
+
+// runExplicit executes the explicit-management baseline.
+func runExplicit(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
+	res, err := guvm.NewSimulator(cfg).RunExplicit(w)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: explicit %s: %v", w.Name(), err))
+	}
+	return res
+}
+
+// accessesOf counts page accesses a workload performs (for per-access
+// latency metrics).
+func accessesOf(w workloads.Workload, bases []mem.Addr) int {
+	n := 0
+	for _, ph := range w.Phases(bases) {
+		k := ph.Kernel
+		for b := 0; b < k.NumBlocks; b++ {
+			for _, prog := range k.BlockProgram(b) {
+				for _, op := range prog {
+					n += len(op.Pages)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// batchDurationsMs extracts per-batch durations in milliseconds.
+func batchDurationsMs(batches []trace.BatchRecord) []float64 {
+	out := make([]float64, len(batches))
+	for i := range batches {
+		out[i] = batches[i].Duration().Millis()
+	}
+	return out
+}
+
+// ms converts virtual time to milliseconds.
+func ms(t sim.Time) float64 { return t.Millis() }
+
+// us converts virtual time to microseconds.
+func us(t sim.Time) float64 { return t.Micros() }
+
+// faultKindName maps gpu fault kinds to short names.
+func faultKindName(k gpu.AccessKind) string { return k.String() }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	gens := All()
+	if len(gens) != 26 {
+		t.Fatalf("registry has %d experiments, want 26 (tables+figures, 6 ablations, multi-GPU extension)", len(gens))
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if g.ID == "" || g.Title == "" || g.Run == nil {
+			t.Fatalf("incomplete generator %+v", g)
+		}
+		if seen[g.ID] {
+			t.Fatalf("duplicate experiment id %q", g.ID)
+		}
+		seen[g.ID] = true
+	}
+	if _, ok := Find("table2"); !ok {
+		t.Fatal("Find failed for table2")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find matched unknown id")
+	}
+}
+
+// TestFastExperiments runs the cheap experiments end-to-end and checks
+// their key paper claims hold in the output.
+func TestFastExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale")
+	}
+
+	t.Run("fig03", func(t *testing.T) {
+		a := Fig03()
+		if len(a.Tables) == 0 || len(a.Series) == 0 {
+			t.Fatal("missing output")
+		}
+		// First batch must be 56 faults per the µTLB limit.
+		if a.Tables[0].Rows[0][1] != "56" {
+			t.Fatalf("first batch = %s, want 56", a.Tables[0].Rows[0][1])
+		}
+		for _, n := range a.Notes {
+			if strings.Contains(n, "violations measured: true") {
+				t.Fatal("scoreboard ordering violated")
+			}
+		}
+	})
+
+	t.Run("fig05", func(t *testing.T) {
+		a := Fig05()
+		found := false
+		for _, n := range a.Notes {
+			if strings.Contains(n, "measured max batch 256") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("prefetch batch did not hit the 256 limit: %v", a.Notes)
+		}
+	})
+
+	t.Run("fig13", func(t *testing.T) {
+		a := Fig13()
+		if len(a.Tables) == 0 {
+			t.Fatal("no level table")
+		}
+		// At least one eviction count must exhibit both cost levels.
+		found := false
+		for _, n := range a.Notes {
+			if strings.Contains(n, "exhibiting both levels") && !strings.Contains(n, "measured 0 ") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no eviction cost levels: %v", a.Notes)
+		}
+	})
+
+	t.Run("fig14", func(t *testing.T) {
+		a := Fig14()
+		var reduction string
+		for _, row := range a.Tables[0].Rows {
+			if row[0] == "batch_reduction_pct" {
+				reduction = row[1]
+			}
+		}
+		if reduction == "" {
+			t.Fatal("no batch reduction metric")
+		}
+	})
+
+	t.Run("fig16", func(t *testing.T) {
+		a := Fig16()
+		if len(a.Series) != 2 {
+			t.Fatalf("case study series = %d, want profile+faults", len(a.Series))
+		}
+		if len(a.Series[1].Rows) == 0 {
+			t.Fatal("no fault-behaviour rows")
+		}
+	})
+}
+
+// TestExperimentsDeterministic verifies that re-running an experiment
+// yields identical notes (the simulator is seed-stable).
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale")
+	}
+	a := Fig05()
+	b := Fig05()
+	if len(a.Notes) != len(b.Notes) {
+		t.Fatal("note count differs between runs")
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			t.Fatalf("note %d differs:\n%s\n%s", i, a.Notes[i], b.Notes[i])
+		}
+	}
+}
+
+// TestAllExperimentsProduceOutput runs every generator — all paper
+// figures/tables, the ablations, and the multi-GPU extension — and checks
+// each emits well-formed artifacts. This is the end-to-end guard on the
+// reproduction harness (~30s).
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	ResetCache()
+	for _, g := range All() {
+		g := g
+		t.Run(g.ID, func(t *testing.T) {
+			a := g.Run()
+			if a.ID != g.ID {
+				t.Fatalf("artifact id %q != generator id %q", a.ID, g.ID)
+			}
+			if len(a.Tables)+len(a.Series) == 0 {
+				t.Fatal("no tables or series")
+			}
+			if len(a.Notes) == 0 {
+				t.Fatal("no observations")
+			}
+			for _, tb := range a.Tables {
+				if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("empty table %q", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Fatalf("table %q: row width %d != header %d",
+							tb.Title, len(row), len(tb.Headers))
+					}
+				}
+			}
+			for _, s := range a.Series {
+				if len(s.Columns) == 0 {
+					t.Fatalf("series %q has no columns", s.Title)
+				}
+				for _, row := range s.Rows {
+					if len(row) != len(s.Columns) {
+						t.Fatalf("series %q: row width mismatch", s.Title)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package gpu
+
+import "guvm/internal/mem"
+
+// AccessCounters is the GPU's per-VABlock access-counter facility. Real
+// NVIDIA hardware since Volta carries such counters; the paper's related
+// work (Ganguly et al.) calls them "existing but sparsely utilized" and
+// the paper itself notes the LRU evictor is blind because "the UVM driver
+// has no information about page hits" (§5.4). The device increments a
+// block's counter on every *resident* (non-faulting) access; the driver
+// may read and clear them to make hit-aware policy decisions.
+type AccessCounters struct {
+	counts map[mem.VABlockID]uint64
+	// Granularity rounds page accesses to counter buckets; the paper's
+	// hardware aggregates at large granularity. We count per VABlock.
+	enabled bool
+}
+
+// NewAccessCounters returns a disabled counter bank (matching the real
+// driver, which leaves the feature off by default).
+func NewAccessCounters() *AccessCounters {
+	return &AccessCounters{counts: make(map[mem.VABlockID]uint64)}
+}
+
+// Enable turns counting on.
+func (c *AccessCounters) Enable() { c.enabled = true }
+
+// Enabled reports whether counting is on.
+func (c *AccessCounters) Enabled() bool { return c.enabled }
+
+// record notes one resident access to page p.
+func (c *AccessCounters) record(p mem.PageID) {
+	if !c.enabled {
+		return
+	}
+	c.counts[p.VABlock()]++
+}
+
+// Read returns the counter for a block.
+func (c *AccessCounters) Read(b mem.VABlockID) uint64 { return c.counts[b] }
+
+// Clear zeroes one block's counter (the driver clears on eviction).
+func (c *AccessCounters) Clear(b mem.VABlockID) { delete(c.counts, b) }
+
+// Total returns the summed counters (diagnostics).
+func (c *AccessCounters) Total() uint64 {
+	var t uint64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,627 @@
+package gpu
+
+import (
+	"fmt"
+
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+// Config describes the modeled GPU. Defaults follow the paper's testbed, a
+// Titan V (Volta, 80 SMs), with the µTLB and throttling behaviour the
+// paper derives experimentally in §3.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// SMsPerUTLB is how many adjacent SMs share one µTLB ("adjacent SMs
+	// share a µTLB", §4.2).
+	SMsPerUTLB int
+	// MaxFaultsPerUTLB is the maximum outstanding replayable faults per
+	// µTLB; the paper measures 56 on Volta (§3.2).
+	MaxFaultsPerUTLB int
+	// FaultThrottleGap is the minimum interval between fault issues from
+	// one SM (the far-fault rate-limiting mechanism, §3.2).
+	FaultThrottleGap sim.Time
+	// GMMULatency is the delay from fault generation to its record
+	// landing in the fault buffer.
+	GMMULatency sim.Time
+	// InterruptLatency is the delay from buffer write to driver wakeup.
+	InterruptLatency sim.Time
+	// FaultBufferEntries sizes the circular fault buffer.
+	FaultBufferEntries int
+	// MaxBlocksPerSM bounds concurrently resident thread blocks per SM.
+	MaxBlocksPerSM int
+	// OpIssueTime is the pipeline cost of issuing one warp operation.
+	OpIssueTime sim.Time
+	// MemLatency is the latency of a non-faulting global memory access.
+	MemLatency sim.Time
+}
+
+// DefaultTitanV returns the paper-testbed GPU profile.
+func DefaultTitanV() Config {
+	return Config{
+		NumSMs:             80,
+		SMsPerUTLB:         2,
+		MaxFaultsPerUTLB:   56,
+		FaultThrottleGap:   500 * sim.Nanosecond,
+		GMMULatency:        1 * sim.Microsecond,
+		InterruptLatency:   2 * sim.Microsecond,
+		FaultBufferEntries: 8192,
+		MaxBlocksPerSM:     2,
+		OpIssueTime:        20 * sim.Nanosecond,
+		MemLatency:         400 * sim.Nanosecond,
+	}
+}
+
+// Validate checks the configuration for values the model cannot run with.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs < 1:
+		return fmt.Errorf("gpu: NumSMs = %d, need >= 1", c.NumSMs)
+	case c.SMsPerUTLB < 1:
+		return fmt.Errorf("gpu: SMsPerUTLB = %d, need >= 1", c.SMsPerUTLB)
+	case c.MaxFaultsPerUTLB < 1:
+		return fmt.Errorf("gpu: MaxFaultsPerUTLB = %d, need >= 1", c.MaxFaultsPerUTLB)
+	case c.FaultBufferEntries < 1:
+		return fmt.Errorf("gpu: FaultBufferEntries = %d, need >= 1", c.FaultBufferEntries)
+	case c.MaxBlocksPerSM < 1:
+		return fmt.Errorf("gpu: MaxBlocksPerSM = %d, need >= 1", c.MaxBlocksPerSM)
+	}
+	return nil
+}
+
+// ResidencyChecker answers whether a page is resident in GPU memory. The
+// UVM driver model implements it; the device consults it on every access.
+type ResidencyChecker interface {
+	IsResidentOnGPU(p mem.PageID) bool
+}
+
+// Stats aggregates device-side fault accounting.
+type Stats struct {
+	FaultsEmitted   int // fault records written to the buffer
+	DupFaults       int // records written while the page was already pending
+	Refaults        int // accesses re-faulted after an unserviced replay
+	ThrottleStalls  int // issue attempts delayed by the SM rate throttle
+	UTLBFullStalls  int // warp stalls on µTLB capacity
+	BlocksCompleted int
+}
+
+// access is one outstanding page access by one warp.
+type access struct {
+	warp *warp
+	page mem.PageID
+	kind AccessKind
+	reg  int // destination scoreboard register for reads, else -1
+}
+
+// faultEntry is a pending µTLB fault: the page plus all accesses waiting
+// on it from this µTLB's SMs.
+type faultEntry struct {
+	page      mem.PageID
+	firstWarp int
+	waiters   []*access
+}
+
+// utlb models one µTLB shared by a group of adjacent SMs.
+type utlb struct {
+	id  int
+	dev *Device
+	// pending are replayable fault entries, capped at MaxFaultsPerUTLB.
+	pending map[mem.PageID]*faultEntry
+	order   []mem.PageID // insertion order of pending, for determinism
+	// prefetchPending tracks prefetch faults, which bypass the cap.
+	prefetchPending map[mem.PageID]*faultEntry
+	prefetchOrder   []mem.PageID
+	// stalled warps wait for µTLB capacity.
+	stalled []*warp
+	// deferred accesses re-fault after a replay found no capacity.
+	deferred []*access
+}
+
+func newUTLB(id int, dev *Device) *utlb {
+	return &utlb{
+		id:              id,
+		dev:             dev,
+		pending:         make(map[mem.PageID]*faultEntry),
+		prefetchPending: make(map[mem.PageID]*faultEntry),
+	}
+}
+
+// smState models one streaming multiprocessor.
+type smState struct {
+	id          int
+	dev         *Device
+	utlb        *utlb
+	nextFaultOK sim.Time // throttle: earliest next fault issue
+	live        int      // resident blocks
+}
+
+// blockRun tracks a launched thread block.
+type blockRun struct {
+	index     int
+	sm        *smState
+	warps     []*warp
+	remaining int
+}
+
+// warp executes one warp program as a little state machine driven by
+// engine events.
+type warp struct {
+	dev   *Device
+	sm    *smState
+	block *blockRun
+	id    int
+
+	prog   Program
+	pc     int
+	opPage int // progress within the current op's page list
+
+	regOut      map[int]int // register -> outstanding loads
+	outstanding int         // unsatisfied accesses in flight
+
+	waitingRegs   bool
+	inFlight      bool // a continuation event is scheduled
+	finishedIssue bool
+	completed     bool
+}
+
+// Device is the modeled GPU.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+	res ResidencyChecker
+
+	Buffer *FaultBuffer
+	utlbs  []*utlb
+	sms    []*smState
+
+	onInterrupt func()
+
+	kernel     Kernel
+	nextBlock  int
+	liveBlocks int
+	launched   bool
+	doneCb     func()
+
+	// Counters is the per-VABlock access-counter bank (disabled unless
+	// the driver enables it).
+	Counters *AccessCounters
+
+	nextWarpID int
+	stats      Stats
+}
+
+// NewDevice builds a device on the given engine with the given residency
+// oracle. It panics on an invalid configuration.
+func NewDevice(cfg Config, eng *sim.Engine, res ResidencyChecker) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		cfg:      cfg,
+		eng:      eng,
+		res:      res,
+		Buffer:   NewFaultBuffer(cfg.FaultBufferEntries),
+		Counters: NewAccessCounters(),
+	}
+	numUTLBs := (cfg.NumSMs + cfg.SMsPerUTLB - 1) / cfg.SMsPerUTLB
+	d.utlbs = make([]*utlb, numUTLBs)
+	for i := range d.utlbs {
+		d.utlbs[i] = newUTLB(i, d)
+	}
+	d.sms = make([]*smState, cfg.NumSMs)
+	for i := range d.sms {
+		d.sms[i] = &smState{id: i, dev: d, utlb: d.utlbs[i/cfg.SMsPerUTLB]}
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a copy of the device statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// SetInterruptHandler registers the driver's wakeup callback, invoked
+// InterruptLatency after the fault buffer transitions empty -> non-empty.
+func (d *Device) SetInterruptHandler(fn func()) { d.onInterrupt = fn }
+
+// LaunchKernel starts a kernel; done is called when every block retires.
+// Only one kernel may run at a time.
+func (d *Device) LaunchKernel(k Kernel, done func()) {
+	if d.launched {
+		panic("gpu: kernel already running")
+	}
+	if k.NumBlocks < 0 {
+		panic("gpu: negative block count")
+	}
+	d.kernel = k
+	d.nextBlock = 0
+	d.liveBlocks = 0
+	d.launched = true
+	d.doneCb = done
+	if k.NumBlocks == 0 {
+		d.finishKernel()
+		return
+	}
+	// Fill every SM up to its resident-block limit, round-robin, the way
+	// a real grid launch distributes blocks.
+	for slot := 0; slot < d.cfg.MaxBlocksPerSM; slot++ {
+		for _, s := range d.sms {
+			if d.nextBlock >= k.NumBlocks {
+				return
+			}
+			d.startBlock(s)
+		}
+	}
+}
+
+func (d *Device) startBlock(s *smState) {
+	idx := d.nextBlock
+	d.nextBlock++
+	d.liveBlocks++
+	s.live++
+	progs := d.kernel.BlockProgram(idx)
+	br := &blockRun{index: idx, sm: s, remaining: len(progs)}
+	for _, p := range progs {
+		w := &warp{
+			dev:    d,
+			sm:     s,
+			block:  br,
+			id:     d.nextWarpID,
+			prog:   p,
+			regOut: make(map[int]int),
+		}
+		d.nextWarpID++
+		br.warps = append(br.warps, w)
+	}
+	if len(br.warps) == 0 {
+		d.blockFinished(br)
+		return
+	}
+	for _, w := range br.warps {
+		w := w
+		d.eng.Schedule(0, w.run)
+	}
+}
+
+func (d *Device) blockFinished(br *blockRun) {
+	d.stats.BlocksCompleted++
+	d.liveBlocks--
+	br.sm.live--
+	if d.nextBlock < d.kernel.NumBlocks {
+		d.startBlock(br.sm)
+		return
+	}
+	if d.liveBlocks == 0 {
+		d.finishKernel()
+	}
+}
+
+func (d *Device) finishKernel() {
+	d.launched = false
+	if cb := d.doneCb; cb != nil {
+		d.doneCb = nil
+		cb()
+	}
+}
+
+// Running reports whether a kernel is in flight.
+func (d *Device) Running() bool { return d.launched }
+
+// emitFault writes a fault record into the buffer after the GMMU latency
+// and raises the interrupt line on an empty->non-empty transition.
+func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) {
+	f := Fault{
+		Page:  page,
+		SM:    w.sm.id,
+		UTLB:  w.sm.utlb.id,
+		Warp:  w.id,
+		Block: w.block.index,
+		Kind:  kind,
+		Dup:   dup,
+	}
+	d.eng.Schedule(d.cfg.GMMULatency, func() {
+		f.Time = d.eng.Now()
+		wasEmpty := d.Buffer.Len() == 0
+		if !d.Buffer.Push(f) {
+			return
+		}
+		d.stats.FaultsEmitted++
+		if dup {
+			d.stats.DupFaults++
+		}
+		if wasEmpty && d.onInterrupt != nil {
+			d.eng.Schedule(d.cfg.InterruptLatency, d.onInterrupt)
+		}
+	})
+}
+
+// Replay clears all µTLB fault entries and re-checks every waiting access,
+// as a driver-issued fault replay does: serviced pages complete, while
+// unserviced accesses re-fault (§4.2).
+func (d *Device) Replay() {
+	var rechecks []*access
+	for _, u := range d.utlbs {
+		for _, page := range u.order {
+			e := u.pending[page]
+			rechecks = append(rechecks, e.waiters...)
+		}
+		for _, page := range u.prefetchOrder {
+			e := u.prefetchPending[page]
+			rechecks = append(rechecks, e.waiters...)
+		}
+		u.pending = make(map[mem.PageID]*faultEntry)
+		u.order = u.order[:0]
+		u.prefetchPending = make(map[mem.PageID]*faultEntry)
+		u.prefetchOrder = u.prefetchOrder[:0]
+		// Deferred re-faults from the previous replay go first.
+		rechecks = append(rechecks, u.deferred...)
+		u.deferred = nil
+	}
+	for _, acc := range rechecks {
+		d.recheck(acc)
+	}
+	// Capacity freed: wake warps stalled on full µTLBs.
+	for _, u := range d.utlbs {
+		stalled := u.stalled
+		u.stalled = nil
+		for _, w := range stalled {
+			w := w
+			d.eng.Schedule(0, w.wake)
+		}
+	}
+}
+
+// recheck resolves one access after a replay: satisfy if now resident,
+// otherwise re-fault.
+func (d *Device) recheck(acc *access) {
+	if d.res.IsResidentOnGPU(acc.page) {
+		w := acc.warp
+		d.eng.Schedule(d.cfg.MemLatency, func() { w.satisfy(acc) })
+		return
+	}
+	d.stats.Refaults++
+	d.refault(acc)
+}
+
+// refault re-inserts an access's fault after an unserviced replay. The
+// µTLB slot is claimed immediately; the fault record emission is paced by
+// the SM throttle like any other fault (prefetch re-faults stay exempt).
+// Capacity overflow defers the access to the next replay.
+func (d *Device) refault(acc *access) {
+	u := acc.warp.sm.utlb
+	w := acc.warp
+	if acc.kind == AccessPrefetch {
+		if e, ok := u.prefetchPending[acc.page]; ok {
+			e.waiters = append(e.waiters, acc)
+			return
+		}
+		u.prefetchPending[acc.page] = &faultEntry{page: acc.page, firstWarp: w.id, waiters: []*access{acc}}
+		u.prefetchOrder = append(u.prefetchOrder, acc.page)
+		d.emitFault(acc.page, w, acc.kind, false)
+		return
+	}
+	if e, ok := u.pending[acc.page]; ok {
+		e.waiters = append(e.waiters, acc)
+		return
+	}
+	if len(u.pending) >= d.cfg.MaxFaultsPerUTLB {
+		u.deferred = append(u.deferred, acc)
+		return
+	}
+	u.pending[acc.page] = &faultEntry{page: acc.page, firstWarp: w.id, waiters: []*access{acc}}
+	u.order = append(u.order, acc.page)
+	delay := w.sm.reserveThrottleSlot()
+	if delay == 0 {
+		d.emitFault(acc.page, w, acc.kind, false)
+		return
+	}
+	page, kind := acc.page, acc.kind
+	d.eng.Schedule(delay, func() { d.emitFault(page, w, kind, false) })
+}
+
+// ---- warp execution ----
+
+func (w *warp) schedule(delay sim.Time) {
+	w.inFlight = true
+	w.dev.eng.Schedule(delay, func() {
+		w.inFlight = false
+		w.run()
+	})
+}
+
+// wake resumes a warp parked on a scoreboard or µTLB stall.
+func (w *warp) wake() {
+	if !w.inFlight && !w.finishedIssue {
+		w.run()
+	}
+}
+
+func (w *warp) depsReady(deps []int) bool {
+	for _, r := range deps {
+		if w.regOut[r] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type issueResult uint8
+
+const (
+	issueOK issueResult = iota
+	issueStallUTLB
+	issueThrottled
+)
+
+// run advances the warp program until it blocks or retires.
+func (w *warp) run() {
+	if w.inFlight || w.finishedIssue {
+		return
+	}
+	for w.pc < len(w.prog) {
+		op := &w.prog[w.pc]
+		switch op.Kind {
+		case OpCompute:
+			if !w.depsReady(op.Deps) {
+				w.waitingRegs = true
+				return
+			}
+			w.pc++
+			w.schedule(op.Dur)
+			return
+		case OpRead, OpWrite, OpPrefetch:
+			if op.Kind == OpWrite && !w.depsReady(op.Deps) {
+				// Scoreboard stall: the STG cannot issue (and so
+				// cannot fault) until its operand loads complete.
+				w.waitingRegs = true
+				return
+			}
+			for w.opPage < len(op.Pages) {
+				switch w.issue(op.Pages[w.opPage], op) {
+				case issueStallUTLB:
+					return // resumed by wake() at replay
+				case issueThrottled:
+					return // retry already scheduled
+				}
+				w.opPage++
+			}
+			w.opPage = 0
+			w.pc++
+			w.schedule(w.dev.cfg.OpIssueTime)
+			return
+		default:
+			panic("gpu: unknown op kind")
+		}
+	}
+	w.finishedIssue = true
+	w.maybeComplete()
+}
+
+// issue performs one page access of the current op.
+func (w *warp) issue(page mem.PageID, op *Op) issueResult {
+	d := w.dev
+	kind := accessKindOf(op.Kind)
+	if d.res.IsResidentOnGPU(page) {
+		d.Counters.record(page)
+		acc := w.track(page, kind, op)
+		d.eng.Schedule(d.cfg.MemLatency, func() { w.satisfy(acc) })
+		return issueOK
+	}
+	u := w.sm.utlb
+	if kind == AccessPrefetch {
+		// Prefetch faults bypass the µTLB cap and the throttle.
+		acc := w.track(page, kind, op)
+		if e, ok := u.prefetchPending[page]; ok {
+			e.waiters = append(e.waiters, acc)
+			if e.firstWarp != w.id {
+				d.emitFault(page, w, kind, true)
+			}
+			return issueOK
+		}
+		u.prefetchPending[page] = &faultEntry{page: page, firstWarp: w.id, waiters: []*access{acc}}
+		u.prefetchOrder = append(u.prefetchOrder, page)
+		d.emitFault(page, w, kind, false)
+		return issueOK
+	}
+	if e, ok := u.pending[page]; ok {
+		// Same page already pending in this µTLB: join the entry. A
+		// different warp issuing the same fault writes a duplicate
+		// record (type-1 duplicate, §4.2).
+		acc := w.track(page, kind, op)
+		e.waiters = append(e.waiters, acc)
+		if e.firstWarp != w.id {
+			d.emitFault(page, w, kind, true)
+		}
+		return issueOK
+	}
+	if len(u.pending) >= d.cfg.MaxFaultsPerUTLB {
+		d.stats.UTLBFullStalls++
+		u.stalled = append(u.stalled, w)
+		return issueStallUTLB
+	}
+	if wait := w.sm.throttleDelay(); wait > 0 {
+		d.stats.ThrottleStalls++
+		w.schedule(wait)
+		return issueThrottled
+	}
+	acc := w.track(page, kind, op)
+	u.pending[page] = &faultEntry{page: page, firstWarp: w.id, waiters: []*access{acc}}
+	u.order = append(u.order, page)
+	w.sm.chargeThrottle()
+	d.emitFault(page, w, kind, false)
+	return issueOK
+}
+
+func accessKindOf(k OpKind) AccessKind {
+	switch k {
+	case OpRead:
+		return AccessRead
+	case OpWrite:
+		return AccessWrite
+	case OpPrefetch:
+		return AccessPrefetch
+	}
+	panic("gpu: not a memory op")
+}
+
+// track registers an outstanding access.
+func (w *warp) track(page mem.PageID, kind AccessKind, op *Op) *access {
+	reg := -1
+	if op.Kind == OpRead {
+		reg = op.Dst
+		w.regOut[reg]++
+	}
+	w.outstanding++
+	return &access{warp: w, page: page, kind: kind, reg: reg}
+}
+
+// satisfy completes an access: data arrived (or the store landed).
+func (w *warp) satisfy(acc *access) {
+	w.outstanding--
+	if acc.reg >= 0 {
+		w.regOut[acc.reg]--
+		if w.regOut[acc.reg] == 0 && w.waitingRegs {
+			w.waitingRegs = false
+			w.dev.eng.Schedule(0, w.wake)
+		}
+	}
+	w.maybeComplete()
+}
+
+func (w *warp) maybeComplete() {
+	if w.finishedIssue && w.outstanding == 0 && !w.completed {
+		w.completed = true
+		br := w.block
+		br.remaining--
+		if br.remaining == 0 {
+			w.dev.blockFinished(br)
+		}
+	}
+}
+
+func (s *smState) throttleDelay() sim.Time {
+	now := s.dev.eng.Now()
+	if now < s.nextFaultOK {
+		return s.nextFaultOK - now
+	}
+	return 0
+}
+
+func (s *smState) chargeThrottle() {
+	s.nextFaultOK = s.dev.eng.Now() + s.dev.cfg.FaultThrottleGap
+}
+
+// reserveThrottleSlot books the SM's next fault-issue slot and returns how
+// long from now it is. Used by the re-fault path, which paces emissions
+// without re-running the warp.
+func (s *smState) reserveThrottleSlot() sim.Time {
+	now := s.dev.eng.Now()
+	start := now
+	if s.nextFaultOK > start {
+		start = s.nextFaultOK
+	}
+	s.nextFaultOK = start + s.dev.cfg.FaultThrottleGap
+	return start - now
+}

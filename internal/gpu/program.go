@@ -1,0 +1,106 @@
+// Package gpu models the device side of the UVM system: streaming
+// multiprocessors executing warp programs, the per-µTLB outstanding-fault
+// limit, the per-SM fault-rate throttle, the GMMU fault buffer, and fault
+// replay. The model reproduces the paper's §3 fault-generation mechanics:
+// reads issue faults without blocking, scoreboard dependencies serialize
+// dependent stores behind loads, a µTLB holds at most 56 outstanding
+// faults, and software prefetch instructions bypass both limits.
+package gpu
+
+import (
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+// AccessKind classifies a memory access and the fault it may raise.
+type AccessKind uint8
+
+const (
+	// AccessRead is a global load (LDG): non-blocking until a dependent
+	// instruction needs the destination register.
+	AccessRead AccessKind = iota
+	// AccessWrite is a global store (STG): issued only after its operand
+	// registers are ready (the Listing 2 scoreboard stall).
+	AccessWrite
+	// AccessPrefetch is a prefetch.global.L2-style access: it uses no
+	// scoreboard register and bypasses the µTLB outstanding-fault limit
+	// and the SM fault-rate throttle (§3.2, Figure 5).
+	AccessPrefetch
+)
+
+// String returns a short name for the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessPrefetch:
+		return "prefetch"
+	}
+	return "unknown"
+}
+
+// OpKind identifies a warp program operation.
+type OpKind uint8
+
+const (
+	// OpRead loads the given pages, setting scoreboard register Dst.
+	OpRead OpKind = iota
+	// OpWrite stores to the given pages after registers Deps are ready.
+	OpWrite
+	// OpPrefetch prefetches the given pages with no scoreboard use.
+	OpPrefetch
+	// OpCompute occupies the warp for Dur after Deps are ready.
+	OpCompute
+)
+
+// Op is one operation of a warp program. Memory operations are modeled at
+// page granularity: Pages lists the distinct pages the warp's (coalesced)
+// lanes touch in this instruction.
+type Op struct {
+	Kind  OpKind
+	Pages []mem.PageID
+	Dst   int   // scoreboard register written by OpRead; ignored otherwise
+	Deps  []int // registers that must be ready before OpWrite/OpCompute issue
+	Dur   sim.Time
+}
+
+// Program is the instruction stream of one warp.
+type Program []Op
+
+// Read builds an OpRead touching pages, writing scoreboard register dst.
+func Read(dst int, pages ...mem.PageID) Op {
+	return Op{Kind: OpRead, Dst: dst, Pages: pages}
+}
+
+// Write builds an OpWrite touching pages after deps are ready.
+func Write(deps []int, pages ...mem.PageID) Op {
+	return Op{Kind: OpWrite, Deps: deps, Pages: pages}
+}
+
+// Prefetch builds an OpPrefetch touching pages.
+func Prefetch(pages ...mem.PageID) Op {
+	return Op{Kind: OpPrefetch, Pages: pages}
+}
+
+// Compute builds an OpCompute lasting dur after deps are ready.
+func Compute(dur sim.Time, deps ...int) Op {
+	return Op{Kind: OpCompute, Dur: dur, Deps: deps}
+}
+
+// PageRange returns the pages [first, first+n).
+func PageRange(first mem.PageID, n int) []mem.PageID {
+	pages := make([]mem.PageID, n)
+	for i := range pages {
+		pages[i] = first + mem.PageID(i)
+	}
+	return pages
+}
+
+// Kernel is a grid of thread blocks. BlockProgram is called lazily, once
+// per launched block, so large grids need not materialize up front.
+type Kernel struct {
+	NumBlocks    int
+	BlockProgram func(block int) []Program
+}

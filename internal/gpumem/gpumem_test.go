@@ -1,0 +1,126 @@
+package gpumem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"guvm/internal/mem"
+)
+
+func TestAllocatorBasics(t *testing.T) {
+	a := New(8 << 20) // 4 chunks
+	if a.Capacity() != 4 || a.Free() != 4 || a.InUse() != 0 {
+		t.Fatalf("fresh allocator: cap=%d free=%d inuse=%d", a.Capacity(), a.Free(), a.InUse())
+	}
+	ids := map[ChunkID]bool{}
+	for i := 0; i < 4; i++ {
+		id, ok := a.Alloc(mem.VABlockID(i))
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate chunk %d", id)
+		}
+		ids[id] = true
+	}
+	if !a.Full() {
+		t.Fatal("allocator not full after 4 allocs")
+	}
+	if _, ok := a.Alloc(9); ok {
+		t.Fatal("alloc succeeded on full pool")
+	}
+	if a.Stats().FailedAllocs != 1 {
+		t.Fatalf("failed allocs = %d", a.Stats().FailedAllocs)
+	}
+}
+
+func TestAllocatorOwnerAndRelease(t *testing.T) {
+	a := New(4 << 20)
+	id, _ := a.Alloc(mem.VABlockID(7))
+	if b, ok := a.Owner(id); !ok || b != 7 {
+		t.Fatalf("owner = %d,%v", b, ok)
+	}
+	a.Release(id)
+	if _, ok := a.Owner(id); ok {
+		t.Fatal("released chunk still owned")
+	}
+	if a.InUse() != 0 {
+		t.Fatal("in-use after release")
+	}
+	// The chunk is reusable.
+	id2, ok := a.Alloc(8)
+	if !ok || id2 != id {
+		t.Fatalf("LIFO reuse: got %d,%v want %d", id2, ok, id)
+	}
+}
+
+func TestAllocatorPanics(t *testing.T) {
+	a := New(4 << 20)
+	id, _ := a.Alloc(1)
+	a.Release(id)
+	for _, fn := range []func(){
+		func() { a.Release(id) },          // double free
+		func() { a.Release(ChunkID(99)) }, // out of range
+		func() { New(1 << 20) },           // sub-chunk capacity
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	a := New(16 << 20) // 8 chunks
+	var ids []ChunkID
+	for i := 0; i < 6; i++ {
+		id, _ := a.Alloc(mem.VABlockID(i))
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:4] {
+		a.Release(id)
+	}
+	a.Alloc(100)
+	if a.Stats().PeakInUse != 6 {
+		t.Fatalf("peak = %d, want 6", a.Stats().PeakInUse)
+	}
+}
+
+// Property: InUse + Free == Capacity under any alloc/release sequence, and
+// no chunk is ever handed out twice concurrently.
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := New(32 << 20) // 16 chunks
+		var live []ChunkID
+		for i, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op) % len(live)
+				a.Release(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				if id, ok := a.Alloc(mem.VABlockID(i)); ok {
+					for _, l := range live {
+						if l == id {
+							return false // double-issued
+						}
+					}
+					live = append(live, id)
+				}
+			}
+			if a.InUse()+a.Free() != a.Capacity() {
+				return false
+			}
+			if a.InUse() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package hostos
+
+import (
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+// CostModel holds the virtual-time costs of host OS operations on the UVM
+// fault path. Defaults are calibrated so the paper's shape results hold
+// (see DESIGN.md §5); they are not claimed to match the authors' testbed.
+type CostModel struct {
+	// UnmapBase is the fixed cost of one unmap_mapping_range() call.
+	UnmapBase sim.Time
+	// UnmapPerPage is the additional cost per CPU-resident page unmapped
+	// (PTE teardown plus dirty-page/cache work).
+	UnmapPerPage sim.Time
+	// UnmapThreadFactor scales unmap cost with the number of additional
+	// CPU threads whose TLBs may cache the mapping: every extra thread
+	// adds this fraction of the base+per-page cost (IPI shootdowns,
+	// cross-core cache traffic). This is the mechanism behind Figure 11's
+	// single- vs multi-threaded HPGMG gap.
+	UnmapThreadFactor float64
+	// PopulatePerPage is the cost of zero-filling one newly allocated
+	// page ("page population" in §5.1).
+	PopulatePerPage sim.Time
+	// DMAMapPerPage is the cost of creating one page's DMA mapping to
+	// the GPU (IOMMU/PTE work, excluding radix-tree bookkeeping).
+	DMAMapPerPage sim.Time
+	// DMAMapPerNode is the cost per radix-tree node allocated while
+	// storing the reverse DMA mapping; tree growth makes first-touch
+	// batches intermittently expensive (Figure 14).
+	DMAMapPerNode sim.Time
+}
+
+// DefaultCostModel returns the calibrated host-OS cost constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		UnmapBase:         8 * sim.Microsecond,
+		UnmapPerPage:      600 * sim.Nanosecond,
+		UnmapThreadFactor: 0.20,
+		PopulatePerPage:   250 * sim.Nanosecond,
+		DMAMapPerPage:     250 * sim.Nanosecond,
+		DMAMapPerNode:     1200 * sim.Nanosecond,
+	}
+}
+
+// Stats aggregates host-OS work performed, for EXPERIMENTS.md reporting.
+type Stats struct {
+	UnmapCalls     int
+	PagesUnmapped  int
+	PagesPopulated int
+	DMAPagesMapped int
+	RadixNodes     int
+	UnmapTime      sim.Time
+	PopulateTime   sim.Time
+	DMAMapTime     sim.Time
+}
+
+type blockMapping struct {
+	pages   mem.PageSet // pages with live CPU PTEs
+	threads uint64      // bitmask of CPU threads that touched the mapping
+}
+
+// VM models the host virtual-memory subsystem for one process: which pages
+// hold live CPU mappings, which CPU threads touched them, and the radix
+// tree of reverse DMA mappings. All methods return the virtual-time cost
+// of the operation; the caller (the UVM driver model) advances the clock.
+type VM struct {
+	cost    CostModel
+	mapped  map[mem.VABlockID]*blockMapping
+	dma     RadixTree
+	dmaNext uint64
+	stats   Stats
+}
+
+// NewVM returns a host VM model using the given cost constants.
+func NewVM(cost CostModel) *VM {
+	return &VM{cost: cost, mapped: make(map[mem.VABlockID]*blockMapping)}
+}
+
+// Stats returns a copy of the accumulated host-OS statistics.
+func (vm *VM) Stats() Stats { return vm.stats }
+
+// TouchCPU records that CPU thread `thread` wrote page index pageIdx of
+// block: a host PTE now exists, so a later GPU fault in the block must pay
+// unmap_mapping_range. This models application host-side initialization
+// (e.g. OpenMP-parallel data init in HPGMG).
+func (vm *VM) TouchCPU(block mem.VABlockID, pageIdx, thread int) {
+	bm := vm.mapped[block]
+	if bm == nil {
+		bm = &blockMapping{}
+		vm.mapped[block] = bm
+	}
+	bm.pages.Set(pageIdx)
+	bm.threads |= 1 << (uint(thread) & 63)
+}
+
+// CPUMappedPages returns how many pages of block hold live CPU mappings.
+func (vm *VM) CPUMappedPages(block mem.VABlockID) int {
+	if bm := vm.mapped[block]; bm != nil {
+		return bm.pages.Count()
+	}
+	return 0
+}
+
+// TouchingThreads returns how many distinct CPU threads touched block.
+func (vm *VM) TouchingThreads(block mem.VABlockID) int {
+	if bm := vm.mapped[block]; bm != nil {
+		n := 0
+		for m := bm.threads; m != 0; m &= m - 1 {
+			n++
+		}
+		return n
+	}
+	return 0
+}
+
+// UnmapMappingRange tears down all live CPU mappings within block, as the
+// driver does when the GPU touches a VABlock partially resident on the
+// host. It returns the virtual-time cost and the number of pages unmapped;
+// a block with no live mappings costs nothing (the paper's Figure 13
+// "lower level": a block evicted and re-fetched pays no unmap).
+func (vm *VM) UnmapMappingRange(block mem.VABlockID) (cost sim.Time, unmapped int) {
+	bm := vm.mapped[block]
+	if bm == nil || !bm.pages.Any() {
+		return 0, 0
+	}
+	unmapped = bm.pages.Count()
+	threads := vm.TouchingThreads(block)
+	base := vm.cost.UnmapBase + sim.Time(unmapped)*vm.cost.UnmapPerPage
+	scale := 1 + vm.cost.UnmapThreadFactor*float64(threads-1)
+	cost = sim.Time(float64(base) * scale)
+	bm.pages.Reset()
+	bm.threads = 0
+	vm.stats.UnmapCalls++
+	vm.stats.PagesUnmapped += unmapped
+	vm.stats.UnmapTime += cost
+	return cost, unmapped
+}
+
+// Populate charges the zero-fill cost for n newly allocated pages.
+func (vm *VM) Populate(n int) sim.Time {
+	cost := sim.Time(n) * vm.cost.PopulatePerPage
+	vm.stats.PagesPopulated += n
+	vm.stats.PopulateTime += cost
+	return cost
+}
+
+// MapDMA creates DMA mappings for every page of block and stores the
+// reverse mappings in the radix tree, returning the total cost. The driver
+// performs this for the whole 2 MB region on first GPU touch (§5.2).
+func (vm *VM) MapDMA(block mem.VABlockID) sim.Time {
+	var cost sim.Time
+	first := uint64(block.FirstPage())
+	for i := 0; i < mem.PagesPerVABlock; i++ {
+		vm.dmaNext += mem.PageSize
+		newNodes := vm.dma.Insert(first+uint64(i), vm.dmaNext)
+		cost += vm.cost.DMAMapPerPage + sim.Time(newNodes)*vm.cost.DMAMapPerNode
+		vm.stats.RadixNodes += newNodes
+	}
+	vm.stats.DMAPagesMapped += mem.PagesPerVABlock
+	vm.stats.DMAMapTime += cost
+	return cost
+}
+
+// HasDMA reports whether page p has a live DMA mapping.
+func (vm *VM) HasDMA(p mem.PageID) bool {
+	_, ok := vm.dma.Lookup(uint64(p))
+	return ok
+}
+
+// DMATreeNodes returns the current radix-tree node count.
+func (vm *VM) DMATreeNodes() int { return vm.dma.Nodes() }

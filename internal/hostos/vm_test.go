@@ -1,0 +1,151 @@
+package hostos
+
+import (
+	"testing"
+
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+func TestTouchCPUTracksPagesAndThreads(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	b := mem.VABlockID(3)
+	vm.TouchCPU(b, 0, 0)
+	vm.TouchCPU(b, 1, 0)
+	vm.TouchCPU(b, 1, 5) // same page, second thread
+	if got := vm.CPUMappedPages(b); got != 2 {
+		t.Fatalf("CPUMappedPages = %d, want 2", got)
+	}
+	if got := vm.TouchingThreads(b); got != 2 {
+		t.Fatalf("TouchingThreads = %d, want 2", got)
+	}
+	if vm.CPUMappedPages(mem.VABlockID(9)) != 0 {
+		t.Fatal("untouched block reports mapped pages")
+	}
+}
+
+func TestUnmapMappingRangeCostAndClear(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	b := mem.VABlockID(1)
+	for i := 0; i < 100; i++ {
+		vm.TouchCPU(b, i, 0)
+	}
+	cost, n := vm.UnmapMappingRange(b)
+	if n != 100 {
+		t.Fatalf("unmapped %d pages, want 100", n)
+	}
+	cm := DefaultCostModel()
+	want := cm.UnmapBase + 100*cm.UnmapPerPage
+	if cost != want {
+		t.Fatalf("single-thread cost = %d, want %d", cost, want)
+	}
+	// Second unmap is free: mappings are gone.
+	cost2, n2 := vm.UnmapMappingRange(b)
+	if cost2 != 0 || n2 != 0 {
+		t.Fatalf("re-unmap cost = %d/%d, want 0/0", cost2, n2)
+	}
+	st := vm.Stats()
+	if st.UnmapCalls != 1 || st.PagesUnmapped != 100 || st.UnmapTime != want {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnmapMultithreadedAmplification(t *testing.T) {
+	// The same mapping touched by many CPU threads must cost more to
+	// unmap (TLB shootdowns) — the Figure 11 mechanism.
+	single := NewVM(DefaultCostModel())
+	multi := NewVM(DefaultCostModel())
+	b := mem.VABlockID(0)
+	for i := 0; i < 512; i++ {
+		single.TouchCPU(b, i, 0)
+		multi.TouchCPU(b, i, i%32)
+	}
+	cs, _ := single.UnmapMappingRange(b)
+	cm, _ := multi.UnmapMappingRange(b)
+	if cm <= cs {
+		t.Fatalf("multithreaded unmap (%d) not costlier than single (%d)", cm, cs)
+	}
+	ratio := float64(cm) / float64(cs)
+	want := 1 + DefaultCostModel().UnmapThreadFactor*31
+	if ratio < 0.9*want || ratio > 1.1*want {
+		t.Fatalf("32-thread amplification ratio = %.2f, want ~%.2f", ratio, want)
+	}
+}
+
+func TestPopulateCost(t *testing.T) {
+	cmod := DefaultCostModel()
+	vm := NewVM(cmod)
+	cost := vm.Populate(512)
+	if cost != 512*cmod.PopulatePerPage {
+		t.Fatalf("populate cost = %d", cost)
+	}
+	if vm.Stats().PagesPopulated != 512 {
+		t.Fatalf("stats pages populated = %d", vm.Stats().PagesPopulated)
+	}
+}
+
+func TestMapDMAMapsWholeBlock(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	b := mem.VABlockID(7)
+	cost := vm.MapDMA(b)
+	if cost <= 0 {
+		t.Fatal("MapDMA cost not positive")
+	}
+	for i := 0; i < mem.PagesPerVABlock; i++ {
+		if !vm.HasDMA(b.PageAt(i)) {
+			t.Fatalf("page %d of block lacks DMA mapping", i)
+		}
+	}
+	if vm.HasDMA(mem.VABlockID(8).PageAt(0)) {
+		t.Fatal("unrelated page has DMA mapping")
+	}
+	if vm.Stats().DMAPagesMapped != mem.PagesPerVABlock {
+		t.Fatalf("stats DMA pages = %d", vm.Stats().DMAPagesMapped)
+	}
+}
+
+func TestMapDMAFirstBlockCostlierThanDense(t *testing.T) {
+	// Tree growth makes some MapDMA calls spike (Figure 14): mapping a
+	// far-away block after many near ones allocates fresh interior nodes.
+	vm := NewVM(DefaultCostModel())
+	first := vm.MapDMA(mem.VABlockID(0))
+	second := vm.MapDMA(mem.VABlockID(1))
+	if first <= second {
+		t.Fatalf("first MapDMA (%d) should exceed adjacent second (%d): tree growth", first, second)
+	}
+	far := vm.MapDMA(mem.VABlockID(1 << 20))
+	if far <= second {
+		t.Fatalf("far MapDMA (%d) should exceed dense-adjacent (%d)", far, second)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	vm.MapDMA(mem.VABlockID(0))
+	vm.Populate(10)
+	vm.TouchCPU(mem.VABlockID(0), 0, 0)
+	vm.UnmapMappingRange(mem.VABlockID(0))
+	st := vm.Stats()
+	if st.DMAMapTime <= 0 || st.PopulateTime <= 0 || st.UnmapTime <= 0 {
+		t.Fatalf("stats times not accumulated: %+v", st)
+	}
+	if st.RadixNodes <= 0 {
+		t.Fatalf("no radix nodes recorded: %+v", st)
+	}
+}
+
+func TestUnmapCostScalesWithPages(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	costs := make([]sim.Time, 0, 3)
+	for i, n := range []int{10, 100, 500} {
+		b := mem.VABlockID(i)
+		for p := 0; p < n; p++ {
+			vm.TouchCPU(b, p, 0)
+		}
+		c, _ := vm.UnmapMappingRange(b)
+		costs = append(costs, c)
+	}
+	if !(costs[0] < costs[1] && costs[1] < costs[2]) {
+		t.Fatalf("unmap cost not monotone in pages: %v", costs)
+	}
+}

@@ -1,0 +1,102 @@
+// Package interconnect models the host-device link (PCIe on the paper's
+// testbed) and the GPU copy engines that move pages across it. Transfers
+// are charged per-DMA-operation latency plus bandwidth time; contiguous
+// pages coalesce into single operations, as the real driver arranges.
+package interconnect
+
+import (
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+// Config describes a link and its copy engines.
+type Config struct {
+	// BandwidthBytesPerSec is the sustained link bandwidth. The paper's
+	// Titan V is PCIe 3.0 x16 (~12 GB/s effective).
+	BandwidthBytesPerSec float64
+	// OpLatency is the fixed setup latency per DMA operation.
+	OpLatency sim.Time
+	// CopyEngines is the number of hardware copy engines; the driver
+	// model issues one VABlock's transfer per engine command.
+	CopyEngines int
+}
+
+// DefaultPCIe3x16 returns the paper-testbed link profile.
+func DefaultPCIe3x16() Config {
+	return Config{
+		BandwidthBytesPerSec: 12e9,
+		OpLatency:            1 * sim.Microsecond,
+		CopyEngines:          4,
+	}
+}
+
+// Stats accumulates transfer accounting.
+type Stats struct {
+	Ops          int
+	BytesToGPU   uint64
+	BytesToHost  uint64
+	TransferTime sim.Time
+}
+
+// Link computes virtual-time costs for data movement. The driver model
+// executes transfers synchronously within batch servicing (the paper shows
+// the driver waits for copies before replay), so Link only needs cost
+// arithmetic, not queueing.
+type Link struct {
+	cfg   Config
+	stats Stats
+}
+
+// NewLink returns a link with the given configuration. A non-positive
+// bandwidth or engine count panics: the simulation would divide by zero.
+func NewLink(cfg Config) *Link {
+	if cfg.BandwidthBytesPerSec <= 0 {
+		panic("interconnect: non-positive bandwidth")
+	}
+	if cfg.CopyEngines <= 0 {
+		panic("interconnect: need at least one copy engine")
+	}
+	return &Link{cfg: cfg}
+}
+
+// Stats returns a copy of the accumulated transfer statistics.
+func (l *Link) Stats() Stats { return l.stats }
+
+// bytesTime converts a byte count to pure bandwidth time.
+func (l *Link) bytesTime(bytes uint64) sim.Time {
+	return sim.Time(float64(bytes) / l.cfg.BandwidthBytesPerSec * float64(sim.Second))
+}
+
+// TransferSpans charges a host→GPU (toGPU=true) or GPU→host migration of
+// the given page spans and returns its cost. Each span is one DMA
+// operation: per-op latency plus bandwidth time.
+func (l *Link) TransferSpans(spans []mem.Span, toGPU bool) sim.Time {
+	var total sim.Time
+	var bytes uint64
+	for _, s := range spans {
+		total += l.cfg.OpLatency + l.bytesTime(s.Bytes())
+		bytes += s.Bytes()
+	}
+	l.stats.Ops += len(spans)
+	if toGPU {
+		l.stats.BytesToGPU += bytes
+	} else {
+		l.stats.BytesToHost += bytes
+	}
+	l.stats.TransferTime += total
+	return total
+}
+
+// TransferBytes charges one contiguous bulk copy (the explicit
+// cudaMemcpy-style baseline in Figure 1).
+func (l *Link) TransferBytes(bytes uint64, toGPU bool) sim.Time {
+	cost := l.cfg.OpLatency + l.bytesTime(bytes)
+	l.stats.Ops++
+	if toGPU {
+		l.stats.BytesToGPU += bytes
+	} else {
+		l.stats.BytesToHost += bytes
+	}
+	l.stats.TransferTime += cost
+	return cost
+}

@@ -1,0 +1,86 @@
+package mem
+
+import "math/bits"
+
+// PageSet is a fixed 512-bit set tracking per-page state within one VABlock
+// (residency, dirtiness, CPU mappings, ...). The zero value is empty.
+type PageSet [PagesPerVABlock / 64]uint64
+
+// Set marks page index i.
+func (s *PageSet) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear unmarks page index i.
+func (s *PageSet) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether page index i is marked.
+func (s *PageSet) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of marked pages.
+func (s *PageSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountRange returns the number of marked pages with index in [lo, hi).
+func (s *PageSet) CountRange(lo, hi int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if s.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all pages.
+func (s *PageSet) Reset() { *s = PageSet{} }
+
+// Any reports whether at least one page is marked.
+func (s *PageSet) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Full reports whether all 512 pages are marked.
+func (s *PageSet) Full() bool { return s.Count() == PagesPerVABlock }
+
+// SetAll marks all 512 pages.
+func (s *PageSet) SetAll() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// Union merges o into s.
+func (s *PageSet) Union(o *PageSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// Subtract clears every page marked in o.
+func (s *PageSet) Subtract(o *PageSet) {
+	for i := range s {
+		s[i] &^= o[i]
+	}
+}
+
+// Indices appends the indices of all marked pages, ascending, to dst and
+// returns it.
+func (s *PageSet) Indices(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,109 @@
+// Package mem defines the address-space arithmetic shared by the GPU, the
+// UVM driver, and the host OS models: 4 KB base pages (the x86 host page
+// size UVM adopts), 64 KB prefetch regions (the Power9-emulating upgrade
+// granularity), and 2 MB virtual address blocks (VABlocks), the driver's
+// unit of management and eviction.
+package mem
+
+import "fmt"
+
+// Fundamental granularities of the UVM system on x86 hosts.
+const (
+	PageSize    = 4 << 10  // 4 KB: host OS page, fault granularity
+	RegionSize  = 64 << 10 // 64 KB: prefetch upgrade region
+	VABlockSize = 2 << 20  // 2 MB: driver management/eviction unit
+
+	PagesPerRegion  = RegionSize / PageSize    // 16
+	PagesPerVABlock = VABlockSize / PageSize   // 512
+	RegionsPerBlock = VABlockSize / RegionSize // 32
+	PageShift       = 12
+	RegionShift     = 16
+	VABlockShift    = 21
+)
+
+// Addr is a byte address in the unified virtual address space.
+type Addr uint64
+
+// PageID identifies a 4 KB page (address >> 12).
+type PageID uint64
+
+// VABlockID identifies a 2 MB VABlock (address >> 21).
+type VABlockID uint64
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) PageID { return PageID(a >> PageShift) }
+
+// VABlockOf returns the VABlock containing a.
+func VABlockOf(a Addr) VABlockID { return VABlockID(a >> VABlockShift) }
+
+// Addr returns the base address of page p.
+func (p PageID) Addr() Addr { return Addr(p) << PageShift }
+
+// VABlock returns the VABlock containing page p.
+func (p PageID) VABlock() VABlockID { return VABlockID(p >> (VABlockShift - PageShift)) }
+
+// IndexInBlock returns p's index within its VABlock, in [0, 512).
+func (p PageID) IndexInBlock() int { return int(p) & (PagesPerVABlock - 1) }
+
+// Region returns the index of p's 64 KB region within its VABlock, in [0, 32).
+func (p PageID) Region() int { return p.IndexInBlock() / PagesPerRegion }
+
+// Addr returns the base address of VABlock b.
+func (b VABlockID) Addr() Addr { return Addr(b) << VABlockShift }
+
+// FirstPage returns the first page of VABlock b.
+func (b VABlockID) FirstPage() PageID { return PageID(b) << (VABlockShift - PageShift) }
+
+// PageAt returns the idx-th page of VABlock b. It panics if idx is outside
+// [0, PagesPerVABlock).
+func (b VABlockID) PageAt(idx int) PageID {
+	if idx < 0 || idx >= PagesPerVABlock {
+		panic(fmt.Sprintf("mem: page index %d outside VABlock", idx))
+	}
+	return b.FirstPage() + PageID(idx)
+}
+
+// String renders an address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// AlignUp rounds n up to the next multiple of align (a power of two).
+func AlignUp(n, align uint64) uint64 {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// Span is a contiguous range of pages [First, First+Count).
+type Span struct {
+	First PageID
+	Count int
+}
+
+// Contains reports whether p lies within the span.
+func (s Span) Contains(p PageID) bool {
+	return p >= s.First && p < s.First+PageID(s.Count)
+}
+
+// Bytes returns the span size in bytes.
+func (s Span) Bytes() uint64 { return uint64(s.Count) * PageSize }
+
+// End returns the first page after the span.
+func (s Span) End() PageID { return s.First + PageID(s.Count) }
+
+// CoalescePages groups a sorted slice of distinct pages into maximal
+// contiguous spans. The driver uses this to batch copy-engine transfers:
+// contiguous pages move as one DMA operation.
+func CoalescePages(pages []PageID) []Span {
+	if len(pages) == 0 {
+		return nil
+	}
+	spans := make([]Span, 0, 8)
+	cur := Span{First: pages[0], Count: 1}
+	for _, p := range pages[1:] {
+		if p == cur.First+PageID(cur.Count) {
+			cur.Count++
+			continue
+		}
+		spans = append(spans, cur)
+		cur = Span{First: p, Count: 1}
+	}
+	return append(spans, cur)
+}

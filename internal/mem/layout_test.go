@@ -1,0 +1,249 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGranularityConstants(t *testing.T) {
+	if PagesPerVABlock != 512 {
+		t.Errorf("PagesPerVABlock = %d, want 512", PagesPerVABlock)
+	}
+	if PagesPerRegion != 16 {
+		t.Errorf("PagesPerRegion = %d, want 16", PagesPerRegion)
+	}
+	if RegionsPerBlock != 32 {
+		t.Errorf("RegionsPerBlock = %d, want 32", RegionsPerBlock)
+	}
+}
+
+func TestPageAndBlockArithmetic(t *testing.T) {
+	a := Addr(5*VABlockSize + 37*PageSize + 123)
+	p := PageOf(a)
+	if p.Addr() != Addr(5*VABlockSize+37*PageSize) {
+		t.Errorf("page base = %v", p.Addr())
+	}
+	if p.VABlock() != 5 {
+		t.Errorf("VABlock = %d, want 5", p.VABlock())
+	}
+	if p.IndexInBlock() != 37 {
+		t.Errorf("IndexInBlock = %d, want 37", p.IndexInBlock())
+	}
+	if p.Region() != 37/16 {
+		t.Errorf("Region = %d, want %d", p.Region(), 37/16)
+	}
+	if VABlockOf(a) != 5 {
+		t.Errorf("VABlockOf = %d, want 5", VABlockOf(a))
+	}
+	b := VABlockID(5)
+	if b.PageAt(37) != p {
+		t.Errorf("PageAt(37) = %d, want %d", b.PageAt(37), p)
+	}
+	if b.FirstPage() != PageID(5*512) {
+		t.Errorf("FirstPage = %d", b.FirstPage())
+	}
+	if b.Addr() != Addr(5*VABlockSize) {
+		t.Errorf("block addr = %v", b.Addr())
+	}
+}
+
+func TestPageAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VABlockID(0).PageAt(512)
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ n, align, want uint64 }{
+		{0, 4096, 0},
+		{1, 4096, 4096},
+		{4096, 4096, 4096},
+		{4097, 4096, 8192},
+		{VABlockSize - 1, VABlockSize, VABlockSize},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.n, c.align); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.n, c.align, got, c.want)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s := Span{First: 100, Count: 8}
+	if !s.Contains(100) || !s.Contains(107) || s.Contains(108) || s.Contains(99) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if s.Bytes() != 8*PageSize {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+	if s.End() != 108 {
+		t.Errorf("End = %d", s.End())
+	}
+}
+
+func TestCoalescePages(t *testing.T) {
+	pages := []PageID{1, 2, 3, 7, 8, 20}
+	spans := CoalescePages(pages)
+	want := []Span{{1, 3}, {7, 2}, {20, 1}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %v, want %v", spans, want)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", spans, want)
+		}
+	}
+	if CoalescePages(nil) != nil {
+		t.Error("CoalescePages(nil) != nil")
+	}
+	one := CoalescePages([]PageID{42})
+	if len(one) != 1 || one[0] != (Span{42, 1}) {
+		t.Errorf("single page: %v", one)
+	}
+}
+
+// Property: coalesced spans exactly cover the input pages.
+func TestCoalesceCoversInput(t *testing.T) {
+	f := func(raw []uint16) bool {
+		// Build a sorted, distinct page list.
+		seen := map[PageID]bool{}
+		for _, r := range raw {
+			seen[PageID(r)] = true
+		}
+		var pages []PageID
+		for p := PageID(0); p < 1<<16; p++ {
+			if seen[p] {
+				pages = append(pages, p)
+			}
+		}
+		spans := CoalescePages(pages)
+		total := 0
+		for _, s := range spans {
+			total += s.Count
+			for p := s.First; p < s.End(); p++ {
+				if !seen[p] {
+					return false
+				}
+			}
+		}
+		return total == len(pages)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageSetBasics(t *testing.T) {
+	var s PageSet
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("zero PageSet not empty")
+	}
+	s.Set(0)
+	s.Set(511)
+	s.Set(64)
+	if !s.Has(0) || !s.Has(511) || !s.Has(64) || s.Has(1) {
+		t.Fatal("Set/Has wrong")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Fatal("Clear wrong")
+	}
+	idx := s.Indices(nil)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 511 {
+		t.Fatalf("Indices = %v", idx)
+	}
+}
+
+func TestPageSetFullAndSetAll(t *testing.T) {
+	var s PageSet
+	s.SetAll()
+	if !s.Full() || s.Count() != 512 {
+		t.Fatal("SetAll not full")
+	}
+	s.Clear(200)
+	if s.Full() {
+		t.Fatal("Full after Clear")
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("Reset not empty")
+	}
+}
+
+func TestPageSetUnionSubtract(t *testing.T) {
+	var a, b PageSet
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+	a.Union(&b)
+	if a.Count() != 3 || !a.Has(3) {
+		t.Fatal("Union wrong")
+	}
+	a.Subtract(&b)
+	if a.Count() != 1 || !a.Has(1) {
+		t.Fatal("Subtract wrong")
+	}
+}
+
+func TestPageSetCountRange(t *testing.T) {
+	var s PageSet
+	for i := 10; i < 30; i++ {
+		s.Set(i)
+	}
+	if got := s.CountRange(0, 512); got != 20 {
+		t.Errorf("CountRange full = %d", got)
+	}
+	if got := s.CountRange(15, 25); got != 10 {
+		t.Errorf("CountRange(15,25) = %d", got)
+	}
+	if got := s.CountRange(30, 40); got != 0 {
+		t.Errorf("CountRange empty = %d", got)
+	}
+}
+
+// Property: Count equals number of distinct indices set.
+func TestPageSetCountMatchesDistinct(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var s PageSet
+		distinct := map[int]bool{}
+		for _, r := range raw {
+			i := int(r) % 512
+			s.Set(i)
+			distinct[i] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Indices returns ascending order matching Has.
+func TestPageSetIndicesSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var s PageSet
+		for _, r := range raw {
+			s.Set(int(r) % 512)
+		}
+		idx := s.Indices(nil)
+		for i, v := range idx {
+			if !s.Has(v) {
+				return false
+			}
+			if i > 0 && idx[i-1] >= v {
+				return false
+			}
+		}
+		return len(idx) == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine. Time is measured in integer nanoseconds of virtual time. Events
+// scheduled for the same instant fire in FIFO order of scheduling, which
+// makes every simulation built on the engine fully reproducible.
+package sim
+
+import "container/heap"
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts a virtual time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executive. The zero value is ready
+// to use at virtual time zero.
+type Engine struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// executed counts events that have been dispatched, for diagnostics.
+	executed uint64
+	// MaxEvents, when non-zero, aborts Run after that many events as a
+	// runaway-simulation backstop.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Executed reports how many events have been dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule enqueues fn to run after delay. A negative delay is treated as
+// zero: the event runs at the current instant, after events already queued
+// for that instant.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At enqueues fn to run at absolute virtual time t. Times in the past are
+// clamped to the present.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue drains, Stop is
+// called, or MaxEvents is exceeded. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+			panic("sim: MaxEvents exceeded; simulation is likely livelocked")
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline and then returns.
+// Events beyond the deadline remain queued; the clock is left at the later
+// of its current value and the deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped && e.pq[0].at <= deadline {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+			panic("sim: MaxEvents exceeded; simulation is likely livelocked")
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

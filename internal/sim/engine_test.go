@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: got[%d]=%d", i, got[i])
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+		e.Schedule(0, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 3 || times[0] != 10 || times[1] != 10 || times[2] != 15 {
+		t.Fatalf("nested times = %v, want [10 10 15]", times)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(100, func() {
+		e.Schedule(-50, func() {
+			ran = true
+			if e.Now() != 100 {
+				t.Errorf("negative delay ran at %d, want 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+}
+
+func TestEngineAtClampsPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		e.At(10, func() {
+			if e.Now() != 100 {
+				t.Errorf("past At ran at %d, want clamp to 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for i := 1; i <= 5; i++ {
+		tt := Time(i * 10)
+		e.Schedule(tt, func() { got = append(got, tt) })
+	}
+	e.RunUntil(30)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(30) executed %d events, want 3", len(got))
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("resumed Run executed %d total, want 5", len(got))
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("idle RunUntil left clock at %d, want 500", e.Now())
+	}
+}
+
+func TestEngineMaxEventsBackstop(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from MaxEvents backstop")
+		}
+	}()
+	e.Run()
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if Millisecond.Micros() != 1000 {
+		t.Errorf("Millisecond.Micros() = %v", Millisecond.Micros())
+	}
+	if (2 * Second).Millis() != 2000 {
+		t.Errorf("(2s).Millis() = %v", (2 * Second).Millis())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs matched %d/1000 draws", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGPanicsOnBadArgs(t *testing.T) {
+	r := NewRNG(1)
+	for _, fn := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Intn(-3) },
+		func() { r.Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestEngineMonotonicDispatch(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace defines the telemetry records the instrumented driver
+// emits: one record per fault batch with the targeted high-resolution
+// timers and event counters of the paper's modified nvidia-uvm driver,
+// plus optional per-fault records for fine-grain fault-behaviour plots
+// (Figures 3-5, 16c, 17c).
+package trace
+
+import (
+	"guvm/internal/gpu"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+// BatchRecord is the per-batch metadata logged at the end of each batch.
+type BatchRecord struct {
+	ID    int
+	Start sim.Time // first fetch of the batch
+	End   sim.Time // replay completion
+
+	// Fault composition.
+	RawFaults   int // fault records fetched from the GPU buffer
+	Type1Dups   int // duplicates from the same µTLB (§4.2 type 1)
+	Type2Dups   int // duplicates across µTLBs (§4.2 type 2)
+	UniquePages int // distinct pages after dedup
+	StalePages  int // faulted pages already resident on arrival
+	VABlocks    int // distinct VABlocks touched
+
+	// Work performed.
+	PagesMigrated   int
+	BytesMigrated   uint64
+	PrefetchedPages int // migrated pages beyond the faulted set
+	Evictions       int // VABlocks evicted
+	EvictedBytes    uint64
+	UnmapPages      int // CPU pages unmapped via unmap_mapping_range
+	NewDMABlocks    int // VABlocks that paid first-touch DMA mapping setup
+
+	// Time components (sum <= End-Start; the remainder is batch setup
+	// and replay issue).
+	TFetch     sim.Time
+	TDedup     sim.Time
+	TBlockMgmt sim.Time
+	TPopulate  sim.Time
+	TPageTable sim.Time
+	TDMAMap    sim.Time
+	TUnmap     sim.Time
+	TTransfer  sim.Time
+	TEvict     sim.Time
+	TReplay    sim.Time
+
+	// Footprint for fault-behaviour plots: the page spans migrated in
+	// and the blocks evicted.
+	ServicedSpans []mem.Span
+	EvictedBlocks []mem.VABlockID
+
+	// FaultsPerSM[sm] counts this batch's raw faults per SM of origin
+	// (Table 2).
+	FaultsPerSM []uint16
+	// VABlockFaults holds the raw fault count of each distinct VABlock
+	// in the batch, in ascending block order (Table 3).
+	VABlockFaults []uint16
+}
+
+// Duration returns the wall-clock (virtual) batch time.
+func (b *BatchRecord) Duration() sim.Time { return b.End - b.Start }
+
+// DupFaults returns the total duplicate faults in the batch.
+func (b *BatchRecord) DupFaults() int { return b.Type1Dups + b.Type2Dups }
+
+// TransferFraction returns the share of batch time spent in data
+// transfer (Figure 7).
+func (b *BatchRecord) TransferFraction() float64 {
+	d := b.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(b.TTransfer) / float64(d)
+}
+
+// UnmapFraction returns the share of batch time spent unmapping CPU
+// pages (Figure 11).
+func (b *BatchRecord) UnmapFraction() float64 {
+	d := b.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(b.TUnmap) / float64(d)
+}
+
+// DMAFraction returns the share of batch time spent creating DMA
+// mappings (Figure 14's "GPU VABlock state initialization").
+func (b *BatchRecord) DMAFraction() float64 {
+	d := b.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(b.TDMAMap) / float64(d)
+}
+
+// Collector accumulates batch and (optionally) fault records.
+type Collector struct {
+	// KeepFaults retains every fetched fault (memory-heavy; enable for
+	// fault-timeline experiments only).
+	KeepFaults bool
+	// KeepSpans retains per-batch serviced page spans.
+	KeepSpans bool
+
+	Batches []BatchRecord
+	Faults  []gpu.Fault
+	// FaultBatch[i] is the batch ID that fetched Faults[i].
+	FaultBatch []int
+}
+
+// AddBatch appends a batch record, assigning its ID, and returns the ID.
+func (c *Collector) AddBatch(b BatchRecord) int {
+	b.ID = len(c.Batches)
+	if !c.KeepSpans {
+		b.ServicedSpans = nil
+	}
+	c.Batches = append(c.Batches, b)
+	return b.ID
+}
+
+// AddFaults appends the fetched faults of batch id.
+func (c *Collector) AddFaults(id int, faults []gpu.Fault) {
+	if !c.KeepFaults {
+		return
+	}
+	c.Faults = append(c.Faults, faults...)
+	for range faults {
+		c.FaultBatch = append(c.FaultBatch, id)
+	}
+}
+
+// TotalBatchTime sums all batch durations (the "Batch" column of Table 4).
+func (c *Collector) TotalBatchTime() sim.Time {
+	var t sim.Time
+	for i := range c.Batches {
+		t += c.Batches[i].Duration()
+	}
+	return t
+}
+
+// TotalBytesMigrated sums to-GPU migration volume across batches.
+func (c *Collector) TotalBytesMigrated() uint64 {
+	var n uint64
+	for i := range c.Batches {
+		n += c.Batches[i].BytesMigrated
+	}
+	return n
+}
+
+// TotalFaults sums raw fetched faults across batches.
+func (c *Collector) TotalFaults() int {
+	n := 0
+	for i := range c.Batches {
+		n += c.Batches[i].RawFaults
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"guvm/internal/gpu"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+func TestBatchRecordDerivedMetrics(t *testing.T) {
+	b := BatchRecord{
+		Start:     1000,
+		End:       11000,
+		Type1Dups: 3,
+		Type2Dups: 2,
+		TTransfer: 2500,
+		TUnmap:    1000,
+		TDMAMap:   500,
+	}
+	if b.Duration() != 10000 {
+		t.Fatalf("Duration = %d", b.Duration())
+	}
+	if b.DupFaults() != 5 {
+		t.Fatalf("DupFaults = %d", b.DupFaults())
+	}
+	if got := b.TransferFraction(); got != 0.25 {
+		t.Fatalf("TransferFraction = %v", got)
+	}
+	if got := b.UnmapFraction(); got != 0.1 {
+		t.Fatalf("UnmapFraction = %v", got)
+	}
+	if got := b.DMAFraction(); got != 0.05 {
+		t.Fatalf("DMAFraction = %v", got)
+	}
+}
+
+func TestBatchRecordZeroDuration(t *testing.T) {
+	var b BatchRecord
+	if b.TransferFraction() != 0 || b.UnmapFraction() != 0 || b.DMAFraction() != 0 {
+		t.Fatal("zero-duration fractions not zero")
+	}
+}
+
+func TestCollectorAddBatchAssignsIDs(t *testing.T) {
+	c := &Collector{}
+	for i := 0; i < 5; i++ {
+		id := c.AddBatch(BatchRecord{Start: sim.Time(i), End: sim.Time(i + 1)})
+		if id != i {
+			t.Fatalf("AddBatch id = %d, want %d", id, i)
+		}
+	}
+	if len(c.Batches) != 5 {
+		t.Fatalf("batches = %d", len(c.Batches))
+	}
+}
+
+func TestCollectorSpanRetention(t *testing.T) {
+	spans := []mem.Span{{First: 0, Count: 4}}
+	c := &Collector{}
+	c.AddBatch(BatchRecord{ServicedSpans: spans})
+	if c.Batches[0].ServicedSpans != nil {
+		t.Fatal("spans retained without KeepSpans")
+	}
+	c2 := &Collector{KeepSpans: true}
+	c2.AddBatch(BatchRecord{ServicedSpans: spans})
+	if len(c2.Batches[0].ServicedSpans) != 1 {
+		t.Fatal("spans dropped despite KeepSpans")
+	}
+}
+
+func TestCollectorFaultRetention(t *testing.T) {
+	c := &Collector{}
+	c.AddFaults(0, []gpu.Fault{{Page: 1}})
+	if len(c.Faults) != 0 {
+		t.Fatal("faults retained without KeepFaults")
+	}
+	c.KeepFaults = true
+	c.AddFaults(1, []gpu.Fault{{Page: 1}, {Page: 2}})
+	if len(c.Faults) != 2 || len(c.FaultBatch) != 2 || c.FaultBatch[1] != 1 {
+		t.Fatalf("fault retention wrong: %v %v", c.Faults, c.FaultBatch)
+	}
+}
+
+func TestCollectorTotals(t *testing.T) {
+	c := &Collector{}
+	c.AddBatch(BatchRecord{Start: 0, End: 10, BytesMigrated: 100, RawFaults: 3})
+	c.AddBatch(BatchRecord{Start: 20, End: 50, BytesMigrated: 200, RawFaults: 5})
+	if c.TotalBatchTime() != 40 {
+		t.Fatalf("TotalBatchTime = %d", c.TotalBatchTime())
+	}
+	if c.TotalBytesMigrated() != 300 {
+		t.Fatalf("TotalBytesMigrated = %d", c.TotalBytesMigrated())
+	}
+	if c.TotalFaults() != 8 {
+		t.Fatalf("TotalFaults = %d", c.TotalFaults())
+	}
+}
+
+func TestWriteBatchesCSV(t *testing.T) {
+	batches := []BatchRecord{
+		{ID: 0, Start: 100, End: 400, RawFaults: 10, BytesMigrated: 4096},
+		{ID: 1, Start: 500, End: 900, Type1Dups: 2},
+	}
+	var sb strings.Builder
+	if err := WriteBatchesCSV(&sb, batches); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,start_ns") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,100,400,300,10,") {
+		t.Fatalf("row 0 wrong: %s", lines[1])
+	}
+	// Column count matches header.
+	if got, want := strings.Count(lines[1], ","), strings.Count(lines[0], ","); got != want {
+		t.Fatalf("row has %d commas, header %d", got, want)
+	}
+}
+
+func TestWriteFaultsJSONL(t *testing.T) {
+	faults := []gpu.Fault{
+		{Time: 100, Page: 42, SM: 3, UTLB: 1, Kind: gpu.AccessRead},
+		{Time: 200, Page: 43, Kind: gpu.AccessWrite, Dup: true},
+	}
+	var sb strings.Builder
+	if err := WriteFaultsJSONL(&sb, faults, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["page"].(float64) != 42 || rec["kind"].(string) != "read" {
+		t.Fatalf("record = %v", rec)
+	}
+	var rec2 map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[1]), &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2["dup"].(bool) != true || rec2["batch"].(float64) != 1 {
+		t.Fatalf("record2 = %v", rec2)
+	}
+}
+
+func TestWriteFaultsJSONLMisaligned(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFaultsJSONL(&sb, []gpu.Fault{{}}, nil); err == nil {
+		t.Fatal("misaligned inputs accepted")
+	}
+}

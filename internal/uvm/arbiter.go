@@ -1,0 +1,70 @@
+package uvm
+
+import "guvm/internal/sim"
+
+// Arbiter serializes batch servicing across multiple drivers (devices).
+// The paper's §2.1 architecture is client-server: one host driver services
+// page faults for all clients, and §6 identifies the driver as "a serial
+// bottleneck for the parallel batch workloads created by the GPU". With
+// several GPUs sharing the host driver, batches queue here — the
+// multi-device interference the paper positions as follow-on work.
+//
+// The zero value is ready to use.
+type Arbiter struct {
+	busy  bool
+	queue []func()
+
+	// Stats.
+	grants    int
+	queued    int
+	waitTotal sim.Time
+
+	eng *sim.Engine
+}
+
+// NewArbiter returns an arbiter on the given engine.
+func NewArbiter(eng *sim.Engine) *Arbiter { return &Arbiter{eng: eng} }
+
+// ArbiterStats reports service-queue contention.
+type ArbiterStats struct {
+	Grants    int      // service slots granted
+	Queued    int      // grants that had to wait
+	TotalWait sim.Time // summed queueing delay
+}
+
+// Stats returns a copy of the contention counters.
+func (a *Arbiter) Stats() ArbiterStats {
+	return ArbiterStats{Grants: a.grants, Queued: a.queued, TotalWait: a.waitTotal}
+}
+
+// Acquire runs fn as soon as the service slot is free: immediately if
+// idle, else after the current holder (and earlier waiters) release.
+func (a *Arbiter) Acquire(fn func()) {
+	a.grants++
+	if !a.busy {
+		a.busy = true
+		fn()
+		return
+	}
+	a.queued++
+	enq := a.eng.Now()
+	a.queue = append(a.queue, func() {
+		a.waitTotal += a.eng.Now() - enq
+		fn()
+	})
+}
+
+// Release frees the slot, handing it to the next waiter (same virtual
+// instant). It panics if the slot is not held — a driver bug.
+func (a *Arbiter) Release() {
+	if !a.busy {
+		panic("uvm: arbiter release without acquire")
+	}
+	if len(a.queue) == 0 {
+		a.busy = false
+		return
+	}
+	next := a.queue[0]
+	a.queue = a.queue[1:]
+	a.eng.Schedule(0, next)
+}

@@ -1,0 +1,637 @@
+package uvm
+
+import (
+	"fmt"
+	"sort"
+
+	"guvm/internal/gpu"
+	"guvm/internal/gpumem"
+	"guvm/internal/hostos"
+	"guvm/internal/interconnect"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/trace"
+)
+
+// blockState is the driver's per-VABlock bookkeeping.
+type blockState struct {
+	id mem.VABlockID
+	// resident marks pages currently in GPU memory.
+	resident mem.PageSet
+	// populated marks pages that ever became GPU-resident: first-time
+	// residency pays the page-population (zero-fill) cost.
+	populated mem.PageSet
+	// hasChunk: a 2 MB GPU chunk backs the block; chunk identifies it.
+	hasChunk bool
+	chunk    gpumem.ChunkID
+	// dmaMapped: the block paid its compulsory first-touch DMA setup.
+	dmaMapped bool
+	// lastTouch is the batch counter of the last migration into the
+	// block; LRU eviction picks the minimum ("essentially earliest
+	// allocated", §5.4).
+	lastTouch int
+	// allocSeq orders chunk allocations for FIFO eviction and
+	// deterministic LRU ties.
+	allocSeq int
+	// evictions counts how many times this block was evicted.
+	evictions int
+}
+
+// Stats aggregates driver-level counters beyond per-batch records.
+type Stats struct {
+	Batches         int
+	TotalFaults     int
+	StaleFaults     int
+	Evictions       int
+	PrefetchedPages int
+	// CrossBlockPages counts pages migrated by cross-VABlock prefetch.
+	CrossBlockPages int
+	MigratedPages   int
+	WakeUps         int
+	SpuriousWakeUps int
+	// AsyncUnmapCalls/Time account preemptive unmapping performed off
+	// the fault path at kernel launch.
+	AsyncUnmapCalls int
+	AsyncUnmapTime  sim.Time
+}
+
+// allocSpan records one managed allocation's VABlock range.
+type allocSpan struct {
+	first, last mem.VABlockID // inclusive
+}
+
+// Driver is the modeled nvidia-uvm driver: one worker servicing the fault
+// buffer of one device, backed by the host OS and the interconnect.
+type Driver struct {
+	cfg  Config
+	eng  *sim.Engine
+	vm   *hostos.VM
+	link *interconnect.Link
+	dev  *gpu.Device
+	pmm  *gpumem.Allocator
+
+	blocks    map[mem.VABlockID]*blockState
+	allocated []*blockState // blocks holding GPU chunks, in alloc order
+	nextSeq   int
+
+	nextAlloc mem.Addr
+	spans     []allocSpan
+
+	sleeping   bool
+	inBatch    bool
+	batchCount int
+
+	// effBatch is the adaptive effective batch size (== BatchSize when
+	// AdaptiveBatch is off).
+	effBatch int
+
+	evictRNG *sim.RNG
+
+	// arbiter, when set, serializes batch servicing with other drivers
+	// sharing the host (multi-GPU).
+	arbiter *Arbiter
+
+	Collector *trace.Collector
+	stats     Stats
+}
+
+// NewDriver builds a driver. Call Attach to wire it to a device before
+// launching kernels; the driver is the device's ResidencyChecker.
+func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Link) *Driver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Driver{
+		cfg:       cfg,
+		eng:       eng,
+		vm:        vm,
+		link:      link,
+		pmm:       gpumem.New(cfg.GPUMemBytes),
+		blocks:    make(map[mem.VABlockID]*blockState),
+		nextAlloc: mem.VABlockSize, // keep address 0 unused
+		sleeping:  true,
+		effBatch:  cfg.BatchSize,
+		evictRNG:  sim.NewRNG(cfg.EvictionSeed),
+		Collector: &trace.Collector{},
+	}
+}
+
+// Attach wires the driver to its device and registers the interrupt
+// handler.
+func (d *Driver) Attach(dev *gpu.Device) {
+	d.dev = dev
+	dev.SetInterruptHandler(d.onInterrupt)
+	if d.cfg.Eviction == EvictLFU {
+		dev.Counters.Enable()
+	}
+}
+
+// SetArbiter makes the driver contend for the shared host service slot
+// before each batch (multi-GPU configurations).
+func (d *Driver) SetArbiter(a *Arbiter) { d.arbiter = a }
+
+// Config returns the driver configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Stats returns a copy of the driver counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// HostVM returns the backing host OS model.
+func (d *Driver) HostVM() *hostos.VM { return d.vm }
+
+// Link returns the backing interconnect.
+func (d *Driver) Link() *interconnect.Link { return d.link }
+
+// AllocOption configures a managed allocation.
+type AllocOption func(*allocOpts)
+
+type allocOpts struct {
+	hostInit    bool
+	hostThreads int
+}
+
+// WithHostInit marks the allocation's pages as initialized by `threads`
+// CPU threads: every page acquires a live CPU mapping, so the first GPU
+// touch of each VABlock pays unmap_mapping_range (§4.4).
+func WithHostInit(threads int) AllocOption {
+	return func(o *allocOpts) {
+		o.hostInit = true
+		if threads < 1 {
+			threads = 1
+		}
+		o.hostThreads = threads
+	}
+}
+
+// Alloc reserves a managed (cudaMallocManaged-style) allocation of the
+// given size, rounded up to whole VABlocks, and returns its base address.
+func (d *Driver) Alloc(bytes uint64, opts ...AllocOption) mem.Addr {
+	if bytes == 0 {
+		panic("uvm: zero-byte allocation")
+	}
+	var o allocOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	base := d.nextAlloc
+	size := mem.Addr(mem.AlignUp(bytes, mem.VABlockSize))
+	d.nextAlloc += size
+	d.spans = append(d.spans, allocSpan{
+		first: mem.VABlockOf(base),
+		last:  mem.VABlockOf(base + size - 1),
+	})
+	if o.hostInit {
+		nblocks := int(size / mem.VABlockSize)
+		pagesLeft := int(mem.AlignUp(bytes, mem.PageSize) / mem.PageSize)
+		for b := 0; b < nblocks; b++ {
+			block := mem.VABlockOf(base) + mem.VABlockID(b)
+			n := mem.PagesPerVABlock
+			if pagesLeft < n {
+				n = pagesLeft
+			}
+			for i := 0; i < n; i++ {
+				d.vm.TouchCPU(block, i, i%o.hostThreads)
+			}
+			pagesLeft -= n
+		}
+	}
+	return base
+}
+
+// TouchHost re-touches an allocation range from the CPU side with the
+// given thread count: pages regain live CPU mappings (e.g. host phases
+// between GPU kernels). GPU-resident pages are not affected.
+func (d *Driver) TouchHost(base mem.Addr, bytes uint64, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	first := mem.PageOf(base)
+	n := int(mem.AlignUp(bytes, mem.PageSize) / mem.PageSize)
+	for i := 0; i < n; i++ {
+		p := first + mem.PageID(i)
+		b := d.blocks[p.VABlock()]
+		if b != nil && b.resident.Has(p.IndexInBlock()) {
+			continue
+		}
+		d.vm.TouchCPU(p.VABlock(), p.IndexInBlock(), i%threads)
+	}
+}
+
+// ExplicitCopyToGPU models explicit (cudaMemcpy-style) management of the
+// range [base, base+bytes): one bulk transfer outside the fault path. All
+// covered blocks become fully resident; the returned cost is the transfer
+// time, which the caller must account to the virtual clock. It panics if
+// device memory cannot hold the data — explicit management cannot
+// oversubscribe.
+func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) sim.Time {
+	nblocks := int(mem.AlignUp(bytes, mem.VABlockSize) / mem.VABlockSize)
+	if d.pmm.InUse()+nblocks > d.pmm.Capacity() {
+		panic(fmt.Sprintf("uvm: explicit copy of %d blocks exceeds capacity (%d in use of %d)",
+			nblocks, d.pmm.InUse(), d.pmm.Capacity()))
+	}
+	first := mem.VABlockOf(base)
+	for i := 0; i < nblocks; i++ {
+		bid := first + mem.VABlockID(i)
+		b := d.blocks[bid]
+		if b == nil {
+			b = &blockState{id: bid}
+			d.blocks[bid] = b
+		}
+		if !b.hasChunk {
+			id, ok := d.pmm.Alloc(bid)
+			if !ok {
+				panic("uvm: explicit copy allocation failed")
+			}
+			b.hasChunk = true
+			b.chunk = id
+			b.allocSeq = d.nextSeq
+			d.nextSeq++
+			d.allocated = append(d.allocated, b)
+		}
+		b.resident.SetAll()
+		b.populated.SetAll()
+		b.dmaMapped = true
+		b.lastTouch = d.batchCount
+	}
+	return d.link.TransferBytes(bytes, true)
+}
+
+// IsResidentOnGPU implements gpu.ResidencyChecker.
+func (d *Driver) IsResidentOnGPU(p mem.PageID) bool {
+	b := d.blocks[p.VABlock()]
+	return b != nil && b.resident.Has(p.IndexInBlock())
+}
+
+// ResidentPages returns the count of GPU-resident pages (diagnostics).
+func (d *Driver) ResidentPages() int {
+	n := 0
+	for _, b := range d.blocks {
+		n += b.resident.Count()
+	}
+	return n
+}
+
+// ChunksInUse returns how many 2 MB GPU chunks are allocated.
+func (d *Driver) ChunksInUse() int { return d.pmm.InUse() }
+
+// MemoryStats returns the physical allocator statistics.
+func (d *Driver) MemoryStats() gpumem.Stats { return d.pmm.Stats() }
+
+// onInterrupt is the device's interrupt line: wake the worker if asleep.
+func (d *Driver) onInterrupt() {
+	if !d.sleeping {
+		d.stats.SpuriousWakeUps++
+		return
+	}
+	d.sleeping = false
+	d.stats.WakeUps++
+	d.eng.Schedule(d.cfg.Costs.WakeupLatency, d.startBatch)
+}
+
+// startBatch opens a batch: acquire the (possibly shared) service slot,
+// charge setup, then drain the buffer.
+func (d *Driver) startBatch() {
+	if d.inBatch {
+		return
+	}
+	if d.dev.Buffer.Len() == 0 {
+		d.sleeping = true
+		return
+	}
+	d.inBatch = true
+	if d.arbiter != nil {
+		d.arbiter.Acquire(d.beginBatch)
+		return
+	}
+	d.beginBatch()
+}
+
+// beginBatch runs once the service slot is held.
+func (d *Driver) beginBatch() {
+	start := d.eng.Now()
+	d.eng.Schedule(d.cfg.Costs.BatchSetup, func() {
+		d.fetchLoop(start, nil, 0)
+	})
+}
+
+// fetchLoop reads fault records until the batch limit is reached or the
+// buffer stays empty — the default retrieval policy (§2.2). Reading takes
+// time, so faults arriving during the drain extend the batch.
+func (d *Driver) fetchLoop(start sim.Time, faults []gpu.Fault, tFetch sim.Time) {
+	got := d.dev.Buffer.Fetch(d.effBatch - len(faults))
+	faults = append(faults, got...)
+	cost := sim.Time(len(got)) * d.cfg.Costs.FetchPerFault
+	tFetch += cost
+	d.eng.Schedule(cost, func() {
+		if len(faults) < d.effBatch && d.dev.Buffer.Len() > 0 {
+			d.fetchLoop(start, faults, tFetch)
+			return
+		}
+		d.serviceBatch(start, faults, tFetch)
+	})
+}
+
+// serviceBatch performs the whole servicing pipeline, computes its
+// virtual-time cost, and schedules the replay at batch end.
+func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Time) {
+	rec := trace.BatchRecord{
+		Start:     start,
+		RawFaults: len(faults),
+		TFetch:    tFetch,
+	}
+	if d.dev != nil {
+		rec.FaultsPerSM = make([]uint16, d.dev.Config().NumSMs)
+	}
+
+	// --- Dedup (§4.2): classify duplicates by µTLB of origin. ---
+	type pageInfo struct {
+		firstUTLB int
+		count     int
+	}
+	seen := make(map[mem.PageID]*pageInfo, len(faults))
+	var uniq []mem.PageID
+	for _, f := range faults {
+		rec.FaultsPerSM[f.SM]++
+		if pi, ok := seen[f.Page]; ok {
+			pi.count++
+			if f.UTLB == pi.firstUTLB {
+				rec.Type1Dups++
+			} else {
+				rec.Type2Dups++
+			}
+			continue
+		}
+		seen[f.Page] = &pageInfo{firstUTLB: f.UTLB}
+		uniq = append(uniq, f.Page)
+	}
+	rec.TDedup = sim.Time(len(faults)) * d.cfg.Costs.DedupPerFault
+	rec.UniquePages = len(uniq)
+
+	// Group unique, non-stale pages by VABlock, in ascending order: the
+	// driver processes all batch faults within one VABlock together.
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	perBlock := make(map[mem.VABlockID][]mem.PageID)
+	var blockOrder []mem.VABlockID
+	for _, p := range uniq {
+		if d.IsResidentOnGPU(p) {
+			rec.StalePages++
+			d.stats.StaleFaults++
+			continue
+		}
+		b := p.VABlock()
+		if _, ok := perBlock[b]; !ok {
+			blockOrder = append(blockOrder, b)
+		}
+		perBlock[b] = append(perBlock[b], p)
+	}
+	rec.VABlocks = len(blockOrder)
+
+	// Raw fault distribution over VABlocks (Table 3): counts include
+	// duplicates, in ascending block order.
+	rawPerBlock := make(map[mem.VABlockID]int)
+	for _, f := range faults {
+		rawPerBlock[f.Page.VABlock()]++
+	}
+	var rawBlocks []mem.VABlockID
+	for b := range rawPerBlock {
+		rawBlocks = append(rawBlocks, b)
+	}
+	sort.Slice(rawBlocks, func(i, j int) bool { return rawBlocks[i] < rawBlocks[j] })
+	rec.VABlockFaults = make([]uint16, len(rawBlocks))
+	for i, b := range rawBlocks {
+		n := rawPerBlock[b]
+		if n > 65535 {
+			n = 65535
+		}
+		rec.VABlockFaults[i] = uint16(n)
+	}
+
+	// --- Per-VABlock servicing. ---
+	inThisBatch := make(map[mem.VABlockID]bool, len(blockOrder))
+	for _, bid := range blockOrder {
+		inThisBatch[bid] = true
+	}
+	var total sim.Time
+	total += d.cfg.Costs.BatchSetup + tFetch + rec.TDedup
+	blockCosts := make([]sim.Time, 0, len(blockOrder))
+	for _, bid := range blockOrder {
+		blockCosts = append(blockCosts, d.serviceBlock(bid, perBlock[bid], inThisBatch, &rec))
+	}
+	// Cross-VABlock prefetch (§6 extension): eagerly migrate blocks
+	// following fully-resident faulting blocks.
+	if d.cfg.CrossBlockPrefetch > 0 {
+		blockCosts = append(blockCosts, d.crossBlockPrefetch(blockOrder, inThisBatch, &rec)...)
+	}
+	// The shipped driver services blocks serially; with ServiceWorkers
+	// > 1 the batch's block time is the parallel makespan (§6's proposed
+	// parallelization — imbalance across VABlocks limits the gain).
+	total += makespan(blockCosts, d.cfg.ServiceWorkers, d.cfg.LoadBalanceLPT, d.cfg.WorkerSync)
+
+	// --- Replay. ---
+	rec.TReplay = d.cfg.Costs.ReplayCost
+	total += rec.TReplay
+
+	d.eng.Schedule(total-tFetch-d.cfg.Costs.BatchSetup, func() {
+		d.dev.Buffer.Flush()
+		d.dev.Replay()
+		rec.End = d.eng.Now()
+		id := d.Collector.AddBatch(rec)
+		d.Collector.AddFaults(id, faults)
+		d.updateAdaptiveBatch(&rec)
+		d.batchCount++
+		d.stats.Batches++
+		d.stats.TotalFaults += len(faults)
+		d.inBatch = false
+		if d.arbiter != nil {
+			d.arbiter.Release()
+		}
+		// Service the next batch if faults are already waiting;
+		// otherwise sleep until the next interrupt.
+		d.startBatch()
+	})
+}
+
+// serviceBlock services one VABlock's faulted pages and returns its cost.
+func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+	cost := d.cfg.Costs.PerVABlock
+	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
+
+	b := d.blocks[bid]
+	if b == nil {
+		b = &blockState{id: bid}
+		d.blocks[bid] = b
+	}
+
+	// Backing chunk: allocate, evicting if device memory is full.
+	if !b.hasChunk {
+		id, ok := d.pmm.Alloc(bid)
+		for !ok {
+			cost += d.evictOne(bid, inThisBatch, rec)
+			id, ok = d.pmm.Alloc(bid)
+		}
+		b.hasChunk = true
+		b.chunk = id
+		b.allocSeq = d.nextSeq
+		d.nextSeq++
+		d.allocated = append(d.allocated, b)
+	}
+	b.lastTouch = d.batchCount
+
+	// Compulsory first-touch DMA mapping setup for the whole block
+	// (§5.2), dominated by radix-tree work in hostos.
+	if !b.dmaMapped {
+		t := d.vm.MapDMA(bid)
+		cost += t
+		rec.TDMAMap += t
+		rec.NewDMABlocks++
+		b.dmaMapped = true
+	}
+
+	// CPU unmapping: the GPU touched a block partially resident on the
+	// host (§4.4).
+	if d.vm.CPUMappedPages(bid) > 0 {
+		t, n := d.vm.UnmapMappingRange(bid)
+		cost += t
+		rec.TUnmap += t
+		rec.UnmapPages += n
+	}
+
+	// Faulted page set within the block.
+	var faulted mem.PageSet
+	for _, p := range pages {
+		faulted.Set(p.IndexInBlock())
+	}
+
+	// Prefetch within the block (§5.2).
+	var toMigrate mem.PageSet
+	toMigrate.Union(&faulted)
+	if d.cfg.PrefetchEnabled {
+		extra := PrefetchPages(&b.resident, &faulted, d.cfg.PrefetchThreshold, d.cfg.Upgrade64K)
+		nExtra := extra.Count()
+		rec.PrefetchedPages += nExtra
+		d.stats.PrefetchedPages += nExtra
+		toMigrate.Union(&extra)
+	}
+
+	// Page population: zero-fill pages becoming resident for the first
+	// time (§5.1).
+	var newPages mem.PageSet
+	newPages.Union(&toMigrate)
+	newPages.Subtract(&b.populated)
+	if n := newPages.Count(); n > 0 {
+		t := d.vm.Populate(n)
+		cost += t
+		rec.TPopulate += t
+	}
+
+	// Migration: coalesce into spans and move over the link.
+	idx := toMigrate.Indices(nil)
+	migrating := make([]mem.PageID, len(idx))
+	for i, pi := range idx {
+		migrating[i] = bid.PageAt(pi)
+	}
+	spans := mem.CoalescePages(migrating)
+	t := d.link.TransferSpans(spans, true)
+	cost += t
+	rec.TTransfer += t
+	rec.PagesMigrated += len(migrating)
+	rec.BytesMigrated += uint64(len(migrating)) * mem.PageSize
+	d.stats.MigratedPages += len(migrating)
+	rec.ServicedSpans = append(rec.ServicedSpans, spans...)
+
+	// GPU page-table updates.
+	pt := sim.Time(len(migrating)) * d.cfg.Costs.PageTablePerPage
+	cost += pt
+	rec.TPageTable += pt
+
+	// Mark residency.
+	b.resident.Union(&toMigrate)
+	b.populated.Union(&toMigrate)
+	return cost
+}
+
+// evictOne evicts the least-recently-touched block and returns the
+// eviction cost. Blocks being serviced in the current batch are only
+// victims of last resort (evicting them would immediately re-fault), and
+// the block currently allocating is never evicted.
+func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+	pick := func(avoidBatch bool) (*blockState, int) {
+		var candidates []int
+		for i, b := range d.allocated {
+			if b.id == current {
+				continue
+			}
+			if avoidBatch && inThisBatch[b.id] {
+				continue
+			}
+			candidates = append(candidates, i)
+		}
+		if len(candidates) == 0 {
+			return nil, -1
+		}
+		vi := candidates[0]
+		switch d.cfg.Eviction {
+		case EvictRandom:
+			vi = candidates[d.evictRNG.Intn(len(candidates))]
+		case EvictFIFO:
+			for _, i := range candidates[1:] {
+				if d.allocated[i].allocSeq < d.allocated[vi].allocSeq {
+					vi = i
+				}
+			}
+		case EvictLFU:
+			read := func(i int) uint64 { return d.dev.Counters.Read(d.allocated[i].id) }
+			for _, i := range candidates[1:] {
+				if read(i) < read(vi) ||
+					(read(i) == read(vi) && d.allocated[i].allocSeq < d.allocated[vi].allocSeq) {
+					vi = i
+				}
+			}
+		default: // EvictLRU
+			for _, i := range candidates[1:] {
+				b, v := d.allocated[i], d.allocated[vi]
+				if b.lastTouch < v.lastTouch ||
+					(b.lastTouch == v.lastTouch && b.allocSeq < v.allocSeq) {
+					vi = i
+				}
+			}
+		}
+		return d.allocated[vi], vi
+	}
+	victim, vi := pick(true)
+	if victim == nil {
+		victim, vi = pick(false)
+	}
+	if victim == nil {
+		panic(fmt.Sprintf("uvm: cannot evict: capacity %d blocks all pinned",
+			d.cfg.CapacityBlocks()))
+	}
+
+	cost := d.cfg.Costs.EvictBase
+	residentIdx := victim.resident.Indices(nil)
+	if len(residentIdx) > 0 {
+		// Write back resident pages to the host. The data lands in
+		// host memory but is NOT remapped to the CPU: a later GPU
+		// re-fetch pays no unmap cost (Figure 13's cost levels).
+		pages := make([]mem.PageID, len(residentIdx))
+		for i, pi := range residentIdx {
+			pages[i] = victim.id.PageAt(pi)
+		}
+		spans := mem.CoalescePages(pages)
+		cost += d.link.TransferSpans(spans, false)
+		cost += sim.Time(len(residentIdx)) * d.cfg.Costs.EvictPerPage
+		rec.EvictedBytes += uint64(len(residentIdx)) * mem.PageSize
+	}
+	victim.resident.Reset()
+	victim.hasChunk = false
+	d.dev.Counters.Clear(victim.id)
+	d.pmm.Release(victim.chunk)
+	victim.evictions++
+	d.allocated = append(d.allocated[:vi], d.allocated[vi+1:]...)
+
+	rec.Evictions++
+	rec.EvictedBlocks = append(rec.EvictedBlocks, victim.id)
+	rec.TEvict += cost
+	d.stats.Evictions++
+	return cost
+}

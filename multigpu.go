@@ -1,0 +1,152 @@
+package guvm
+
+import (
+	"errors"
+	"fmt"
+
+	"guvm/internal/gpu"
+	"guvm/internal/hostos"
+	"guvm/internal/interconnect"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+// MultiSimulator wires several GPUs onto one host: each device has its own
+// driver state, memory and PCIe link, but all drivers contend for the one
+// host fault-servicing slot (the paper's client-server architecture, §2.1,
+// where the serial host driver services every client). This is the
+// "interactions among multiple devices" follow-on the paper positions
+// itself as the foundation for.
+type MultiSimulator struct {
+	Config  SystemConfig
+	Engine  *sim.Engine
+	Devices []*gpu.Device
+	Drivers []*uvm.Driver
+	HostVM  *hostos.VM
+	Arbiter *uvm.Arbiter
+
+	used bool
+}
+
+// NewMultiSimulator builds an n-device simulator. The host VM is shared
+// (one OS); links are per-device (separate PCIe slots).
+func NewMultiSimulator(cfg SystemConfig, n int) *MultiSimulator {
+	if n < 1 {
+		panic("guvm: need at least one device")
+	}
+	eng := sim.NewEngine()
+	eng.MaxEvents = cfg.MaxEvents
+	vm := hostos.NewVM(cfg.Host)
+	arb := uvm.NewArbiter(eng)
+	m := &MultiSimulator{
+		Config:  cfg,
+		Engine:  eng,
+		HostVM:  vm,
+		Arbiter: arb,
+	}
+	for i := 0; i < n; i++ {
+		link := interconnect.NewLink(cfg.Link)
+		drv := uvm.NewDriver(cfg.Driver, eng, vm, link)
+		drv.Collector.KeepFaults = cfg.KeepFaults
+		drv.Collector.KeepSpans = cfg.KeepSpans
+		dev := gpu.NewDevice(cfg.GPU, eng, drv)
+		drv.Attach(dev)
+		drv.SetArbiter(arb)
+		m.Drivers = append(m.Drivers, drv)
+		m.Devices = append(m.Devices, dev)
+	}
+	return m
+}
+
+// RunConcurrent executes workload i on device i, all starting at virtual
+// time zero, and returns one Result per device. Like Simulator, a
+// MultiSimulator is single-shot.
+func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, error) {
+	if m.used {
+		return nil, errors.New("guvm: MultiSimulator is single-shot")
+	}
+	m.used = true
+	if len(ws) != len(m.Devices) {
+		return nil, fmt.Errorf("guvm: %d workloads for %d devices", len(ws), len(m.Devices))
+	}
+
+	kernelTimes := make([]sim.Time, len(ws))
+	basesPer := make([][]mem.Addr, len(ws))
+	var runErr error
+
+	for i, w := range ws {
+		i, w := i, w
+		drv, dev := m.Drivers[i], m.Devices[i]
+		allocs := w.Allocs()
+		bases := make([]mem.Addr, len(allocs))
+		for j, a := range allocs {
+			if a.Bytes == 0 {
+				return nil, fmt.Errorf("guvm: workload %q allocation %d is empty", w.Name(), j)
+			}
+			var opts []uvm.AllocOption
+			if a.HostInit {
+				opts = append(opts, uvm.WithHostInit(a.HostThreads))
+			}
+			bases[j] = drv.Alloc(a.Bytes, opts...)
+		}
+		basesPer[i] = bases
+		phases := w.Phases(bases)
+
+		var runPhase func(p int)
+		runPhase = func(p int) {
+			if p >= len(phases) {
+				return
+			}
+			ph := phases[p]
+			for _, ht := range ph.HostTouches {
+				drv.TouchHost(ht.Base, ht.Bytes, ht.Threads)
+			}
+			if ph.Kernel.NumBlocks == 0 {
+				runPhase(p + 1)
+				return
+			}
+			if m.Config.Driver.AsyncUnmap {
+				drv.PreUnmapAllocations()
+			}
+			start := m.Engine.Now()
+			dev.LaunchKernel(ph.Kernel, func() {
+				kernelTimes[i] += m.Engine.Now() - start
+				runPhase(p + 1)
+			})
+		}
+		m.Engine.Schedule(0, func() { runPhase(0) })
+	}
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("guvm: simulation panicked: %v", r)
+			}
+		}()
+		m.Engine.Run()
+	}()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	results := make([]*Result, len(ws))
+	for i := range ws {
+		col := m.Drivers[i].Collector
+		results[i] = &Result{
+			Workload:    ws[i].Name(),
+			KernelTime:  kernelTimes[i],
+			TotalTime:   m.Engine.Now(),
+			Batches:     col.Batches,
+			Faults:      col.Faults,
+			FaultBatch:  col.FaultBatch,
+			Bases:       basesPer[i],
+			DriverStats: m.Drivers[i].Stats(),
+			DeviceStats: m.Devices[i].Stats(),
+			HostStats:   m.HostVM.Stats(),
+			LinkStats:   m.Drivers[i].Link().Stats(),
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,121 @@
+package guvm
+
+import (
+	"testing"
+
+	"guvm/internal/workloads"
+)
+
+func TestMultiSimulatorSingleDeviceMatchesSolo(t *testing.T) {
+	cfg := testConfig()
+	mk := func() workloads.Workload { return workloads.NewStream(8<<20, 16) }
+
+	solo := mustRun(t, cfg, mk())
+	multi, err := NewMultiSimulator(cfg, 1).RunConcurrent([]workloads.Workload{mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One device behind an uncontended arbiter behaves like the solo
+	// simulator.
+	if multi[0].KernelTime != solo.KernelTime {
+		t.Fatalf("1-device multi kernel %v != solo %v", multi[0].KernelTime, solo.KernelTime)
+	}
+	if len(multi[0].Batches) != len(solo.Batches) {
+		t.Fatalf("batch count %d != %d", len(multi[0].Batches), len(solo.Batches))
+	}
+}
+
+func TestMultiSimulatorInterference(t *testing.T) {
+	cfg := testConfig()
+	mk := func() workloads.Workload {
+		s := workloads.NewStream(8<<20, 16)
+		s.ComputePerChunk = 0 // fault-bound: maximal driver pressure
+		return s
+	}
+	solo := mustRun(t, cfg, mk())
+
+	m := NewMultiSimulator(cfg, 2)
+	results, err := m.RunConcurrent([]workloads.Workload{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared host driver serializes servicing: each device's kernel
+	// slows down versus running alone.
+	for i, r := range results {
+		if r.KernelTime <= solo.KernelTime {
+			t.Fatalf("device %d kernel %v not slower than solo %v under contention",
+				i, r.KernelTime, solo.KernelTime)
+		}
+	}
+	if m.Arbiter.Stats().Queued == 0 {
+		t.Fatal("no arbiter contention recorded")
+	}
+	if m.Arbiter.Stats().TotalWait <= 0 {
+		t.Fatal("no queueing delay recorded")
+	}
+}
+
+func TestMultiSimulatorIndependentResidency(t *testing.T) {
+	cfg := testConfig()
+	m := NewMultiSimulator(cfg, 2)
+	ws := []workloads.Workload{
+		workloads.NewStream(4<<20, 8),
+		workloads.NewRegular(8<<20, 16),
+	}
+	results, err := m.RunConcurrent(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Workload != "stream" || results[1].Workload != "regular" {
+		t.Fatalf("workload attribution wrong: %s/%s", results[0].Workload, results[1].Workload)
+	}
+	// Each device migrated its own working set.
+	if results[0].LinkStats.BytesToGPU != 3*(4<<20) {
+		t.Fatalf("device 0 migrated %d", results[0].LinkStats.BytesToGPU)
+	}
+	if results[1].LinkStats.BytesToGPU != 8<<20 {
+		t.Fatalf("device 1 migrated %d", results[1].LinkStats.BytesToGPU)
+	}
+}
+
+func TestMultiSimulatorValidation(t *testing.T) {
+	cfg := testConfig()
+	m := NewMultiSimulator(cfg, 2)
+	if _, err := m.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err == nil {
+		t.Fatal("mismatched workload count accepted")
+	}
+	m2 := NewMultiSimulator(cfg, 1)
+	if _, err := m2.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err == nil {
+		t.Fatal("second RunConcurrent accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 devices")
+		}
+	}()
+	NewMultiSimulator(cfg, 0)
+}
+
+func TestMultiSimulatorDeterministic(t *testing.T) {
+	cfg := testConfig()
+	runOnce := func() []*Result {
+		m := NewMultiSimulator(cfg, 2)
+		rs, err := m.RunConcurrent([]workloads.Workload{
+			workloads.NewStream(4<<20, 8),
+			workloads.NewStream(4<<20, 8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i].KernelTime != b[i].KernelTime || len(a[i].Batches) != len(b[i].Batches) {
+			t.Fatalf("device %d nondeterministic", i)
+		}
+	}
+}
