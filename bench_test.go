@@ -17,6 +17,15 @@ import (
 // reproducing that table or figure end-to-end. The artifact itself — the
 // same rows/series the paper reports — is written by cmd/paperfigs.
 
+func mustBenchSim(b *testing.B, cfg guvm.SystemConfig) *guvm.Simulator {
+	b.Helper()
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	g, ok := experiments.Find(id)
@@ -77,7 +86,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 				w.Tile = 512
 				w.ChunkPages = 32
 				w.ComputePerChunk = 10 * sim.Microsecond
-				res, err := guvm.NewSimulator(cfg).Run(w)
+				res, err := mustBenchSim(b, cfg).Run(w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,7 +105,7 @@ func BenchmarkAblationPrefetchThreshold(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := guvm.DefaultConfig()
 				cfg.Driver.PrefetchThreshold = th
-				res, err := guvm.NewSimulator(cfg).Run(workloads.NewStream(32<<20, 24))
+				res, err := mustBenchSim(b, cfg).Run(workloads.NewStream(32<<20, 24))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -114,7 +123,7 @@ func BenchmarkAblationUnmapThreads(b *testing.B) {
 		b.Run(itoa(threads), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := guvm.DefaultConfig()
-				res, err := guvm.NewSimulator(cfg).Run(workloads.NewHPGMG(32<<20, threads))
+				res, err := mustBenchSim(b, cfg).Run(workloads.NewHPGMG(32<<20, threads))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -136,7 +145,7 @@ func BenchmarkAblationEvictionExclusion(b *testing.B) {
 		cfg.Driver.Upgrade64K = false
 		s := workloads.NewStream(16<<20, 24)
 		s.Iterations = 2
-		res, err := guvm.NewSimulator(cfg).Run(s)
+		res, err := mustBenchSim(b, cfg).Run(s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +159,7 @@ func BenchmarkAblationEvictionExclusion(b *testing.B) {
 // reference: one full 3x16 MB triad under default policies.
 func BenchmarkSimulatorStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := guvm.NewSimulator(guvm.DefaultConfig()).Run(workloads.NewStream(16<<20, 24))
+		res, err := mustBenchSim(b, guvm.DefaultConfig()).Run(workloads.NewStream(16<<20, 24))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -35,7 +35,12 @@ func main() {
 		w = workloads.NewVecAddPaper()
 	}
 
-	res, err := guvm.NewSimulator(cfg).Run(w)
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := s.Run(w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
 		os.Exit(1)

@@ -83,6 +83,15 @@ func main() {
 		traceFile  = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
 		csvOut     = flag.String("csv", "", "write per-batch records as CSV to this file")
 		faultsOut  = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
+
+		// Deterministic fault injection (all rates default to 0 = off).
+		injSeed        = flag.Uint64("inject-seed", 1, "fault-injection RNG seed")
+		injDropRate    = flag.Float64("inject-drop-rate", 0, "probability a fault record is dropped before reaching the fault buffer")
+		injDropRetries = flag.Int("inject-drop-retries", 3, "hardware re-emission attempts for a dropped fault record")
+		injMigRate     = flag.Float64("inject-mig-rate", 0, "probability a DMA transfer attempt fails transiently")
+		injMigRetries  = flag.Int("inject-mig-retries", 4, "transfer retries (with exponential backoff) before a migration is fatal")
+		injHostRate    = flag.Float64("inject-host-rate", 0, "probability a host page-population call fails")
+		injHostRetries = flag.Int("inject-host-retries", 6, "population retries (with batch shrinking and forced eviction) before fatal")
 	)
 	flag.Parse()
 
@@ -138,7 +147,19 @@ func main() {
 	if *faultsOut != "" {
 		cfg.KeepFaults = true
 	}
-	sim := guvm.NewSimulator(cfg)
+	cfg.Inject.Seed = *injSeed
+	cfg.Inject.BufferDropRate = *injDropRate
+	cfg.Inject.BufferDropRetries = *injDropRetries
+	cfg.Inject.MigrateFailRate = *injMigRate
+	cfg.Inject.MigrateMaxRetries = *injMigRetries
+	cfg.Inject.HostAllocFailRate = *injHostRate
+	cfg.Inject.HostAllocMaxRetries = *injHostRetries
+
+	sim, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+		os.Exit(2)
+	}
 	var res *guvm.Result
 	if *explicit {
 		res, err = sim.RunExplicit(w)
@@ -162,6 +183,21 @@ func main() {
 	fmt.Printf("host OS         %d unmap calls (%d pages), %d DMA pages, %d radix nodes\n",
 		res.HostStats.UnmapCalls, res.HostStats.PagesUnmapped,
 		res.HostStats.DMAPagesMapped, res.HostStats.RadixNodes)
+
+	if cfg.Inject.Enabled() {
+		is := res.InjectStats
+		fmt.Printf("injected faults (category: injected/retried/recovered/unrecovered)\n")
+		fmt.Printf("  buffer-drop   %d/%d/%d/%d\n",
+			is.BufferDrop.Injected, is.BufferDrop.Retried, is.BufferDrop.Recovered, is.BufferDrop.Unrecovered)
+		fmt.Printf("  migrate       %d/%d/%d/%d\n",
+			is.Migrate.Injected, is.Migrate.Retried, is.Migrate.Recovered, is.Migrate.Unrecovered)
+		fmt.Printf("  host-alloc    %d/%d/%d/%d\n",
+			is.HostAlloc.Injected, is.HostAlloc.Retried, is.HostAlloc.Recovered, is.HostAlloc.Unrecovered)
+		fmt.Printf("  driver        %d migration retries, %d host-alloc failures, %d batch shrinks\n",
+			res.DriverStats.MigRetries, res.DriverStats.HostAllocFailures, res.DriverStats.BatchShrinks)
+		fmt.Printf("  device        %d buffer drops injected, %d re-emitted, %d lost to replay recovery\n",
+			res.DeviceStats.InjectedDrops, res.DeviceStats.InjectedDropRetries, res.DeviceStats.InjectedDropsLost)
+	}
 
 	if len(res.Batches) > 0 {
 		durs := make([]float64, len(res.Batches))

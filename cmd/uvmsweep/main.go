@@ -103,7 +103,12 @@ func main() {
 					cfg.Driver.PrefetchEnabled = pfOn
 					cfg.Driver.Upgrade64K = pfOn
 					cfg.Driver.Eviction = policy
-					res, err := guvm.NewSimulator(cfg).Run(mk())
+					s, err := guvm.NewSimulator(cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+						os.Exit(1)
+					}
+					res, err := s.Run(mk())
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "uvmsweep: %s bs=%d cap=%d: %v\n", *name, bs, capMB, err)
 						os.Exit(1)

@@ -15,7 +15,11 @@ func Example() {
 	cfg.Driver.PrefetchEnabled = false
 	cfg.Driver.Upgrade64K = false
 
-	res, err := guvm.NewSimulator(cfg).Run(workloads.NewVecAddPaper())
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Run(workloads.NewVecAddPaper())
 	if err != nil {
 		panic(err)
 	}
@@ -33,11 +37,19 @@ func ExampleSimulator_RunExplicit() {
 		return s
 	}
 	cfg := guvm.DefaultConfig()
-	uvmRes, err := guvm.NewSimulator(cfg).Run(mk())
+	uvmSim, err := guvm.NewSimulator(cfg)
 	if err != nil {
 		panic(err)
 	}
-	expRes, err := guvm.NewSimulator(cfg).RunExplicit(mk())
+	uvmRes, err := uvmSim.Run(mk())
+	if err != nil {
+		panic(err)
+	}
+	expSim, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	expRes, err := expSim.RunExplicit(mk())
 	if err != nil {
 		panic(err)
 	}
@@ -51,7 +63,10 @@ func ExampleSimulator_RunExplicit() {
 // ExampleNewMultiSimulator shows two GPUs contending for the shared host
 // fault-servicing driver.
 func ExampleNewMultiSimulator() {
-	m := guvm.NewMultiSimulator(guvm.DefaultConfig(), 2)
+	m, err := guvm.NewMultiSimulator(guvm.DefaultConfig(), 2)
+	if err != nil {
+		panic(err)
+	}
 	results, err := m.RunConcurrent([]workloads.Workload{
 		workloads.NewStream(4<<20, 8),
 		workloads.NewStream(4<<20, 8),

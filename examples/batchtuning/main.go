@@ -28,7 +28,11 @@ func main() {
 		cfg.Driver.PrefetchEnabled = false
 		cfg.Driver.Upgrade64K = false
 		cfg.Driver.BatchSize = bs
-		res, err := guvm.NewSimulator(cfg).Run(gemm())
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(gemm())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +50,11 @@ func main() {
 	for _, th := range []float64{0.25, 0.51, 0.75, 1.0} {
 		cfg := guvm.DefaultConfig()
 		cfg.Driver.PrefetchThreshold = th
-		res, err := guvm.NewSimulator(cfg).Run(gemm())
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(gemm())
 		if err != nil {
 			log.Fatal(err)
 		}

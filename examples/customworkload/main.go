@@ -75,7 +75,11 @@ func main() {
 		cfg.Driver.PrefetchEnabled = pf
 		cfg.Driver.Upgrade64K = pf
 		cfg.Driver.GPUMemBytes = capMB << 20
-		res, err := guvm.NewSimulator(cfg).Run(w())
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(w())
 		if err != nil {
 			log.Fatal(err)
 		}

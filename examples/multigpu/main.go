@@ -22,7 +22,10 @@ func main() {
 	fmt.Println("devices  per-dev_kernel_ms  slowdown  queue_waits  total_queue_ms")
 	var solo float64
 	for _, n := range []int{1, 2, 3, 4} {
-		m := guvm.NewMultiSimulator(guvm.DefaultConfig(), n)
+		m, err := guvm.NewMultiSimulator(guvm.DefaultConfig(), n)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ws := make([]workloads.Workload, n)
 		for i := range ws {
 			ws[i] = mk()

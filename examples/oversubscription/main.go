@@ -22,7 +22,11 @@ func main() {
 	for _, capMB := range []uint64{64, 40, 32, 24} {
 		cfg := guvm.DefaultConfig()
 		cfg.Driver.GPUMemBytes = capMB << 20
-		res, err := guvm.NewSimulator(cfg).Run(w())
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(w())
 		if err != nil {
 			log.Fatal(err)
 		}

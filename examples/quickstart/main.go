@@ -18,7 +18,11 @@ func main() {
 	// the canonical memory-bound UVM workload.
 	w := workloads.NewStream(32<<20, 24)
 
-	res, err := guvm.NewSimulator(cfg).Run(w)
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,7 +10,7 @@
 //
 // Quick start:
 //
-//	sim := guvm.NewSimulator(guvm.DefaultConfig())
+//	sim, err := guvm.NewSimulator(guvm.DefaultConfig())
 //	res, err := sim.Run(workloads.NewStream(64<<20, 128))
 //	// res.Batches holds per-batch telemetry; res.KernelTime the GPU time.
 //
@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
 	"guvm/internal/hostos"
 	"guvm/internal/interconnect"
@@ -31,6 +32,12 @@ import (
 	"guvm/internal/workloads"
 )
 
+// ErrStalled is the sentinel for a run that drained its event queue with
+// the kernel still incomplete: some fault was lost and never recovered
+// (reachable only under fault injection, e.g. dropped fault records whose
+// re-emission budget ran out with no later replay to re-fault them).
+var ErrStalled = errors.New("guvm: simulation stalled")
+
 // SystemConfig assembles the configuration of every modeled component.
 type SystemConfig struct {
 	GPU    gpu.Config
@@ -39,6 +46,15 @@ type SystemConfig struct {
 	Link   interconnect.Config
 	// MaxEvents bounds the simulation as a livelock backstop.
 	MaxEvents uint64
+	// MaxStallEvents aborts the run once this many consecutive events
+	// execute without the virtual clock advancing — a no-progress
+	// watchdog that catches zero-delay scheduling loops long before
+	// MaxEvents would. Zero disables it.
+	MaxStallEvents uint64
+	// Inject configures the deterministic fault-injection layer. The
+	// zero value (all rates zero) disables injection and leaves every
+	// simulation output bit-identical to an injector-free run.
+	Inject faultinject.Config
 	// KeepFaults retains every fetched fault record in the result
 	// (needed by fault-timeline experiments; memory-heavy).
 	KeepFaults bool
@@ -51,11 +67,13 @@ type SystemConfig struct {
 // seconds (see DESIGN.md §1 on scaling).
 func DefaultConfig() SystemConfig {
 	return SystemConfig{
-		GPU:       gpu.DefaultTitanV(),
-		Driver:    uvm.DefaultConfig(),
-		Host:      hostos.DefaultCostModel(),
-		Link:      interconnect.DefaultPCIe3x16(),
-		MaxEvents: 500_000_000,
+		GPU:            gpu.DefaultTitanV(),
+		Driver:         uvm.DefaultConfig(),
+		Host:           hostos.DefaultCostModel(),
+		Link:           interconnect.DefaultPCIe3x16(),
+		MaxEvents:      500_000_000,
+		MaxStallEvents: 2_000_000,
+		Inject:         faultinject.DefaultConfig(),
 	}
 }
 
@@ -90,6 +108,9 @@ type Result struct {
 	DeviceStats gpu.Stats
 	HostStats   hostos.Stats
 	LinkStats   interconnect.Stats
+	// InjectStats holds the per-category injected/retried/recovered/
+	// unrecovered counters (all zero when injection is disabled).
+	InjectStats faultinject.Stats
 }
 
 // BatchTime sums all batch durations.
@@ -113,34 +134,49 @@ func (r *Result) BytesMigrated() uint64 {
 // Simulator wires one GPU, one driver, the host OS and the link onto a
 // shared discrete-event engine.
 type Simulator struct {
-	Config SystemConfig
-	Engine *sim.Engine
-	Device *gpu.Device
-	Driver *uvm.Driver
-	HostVM *hostos.VM
+	Config   SystemConfig
+	Engine   *sim.Engine
+	Device   *gpu.Device
+	Driver   *uvm.Driver
+	HostVM   *hostos.VM
+	Injector *faultinject.Injector
 
 	used bool
 }
 
-// NewSimulator builds a simulator. It panics on invalid configuration
-// (programming error), matching the underlying constructors.
-func NewSimulator(cfg SystemConfig) *Simulator {
+// NewSimulator builds a simulator. An invalid component or injection
+// configuration is an error.
+func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 	eng := sim.NewEngine()
 	eng.MaxEvents = cfg.MaxEvents
+	eng.MaxStallEvents = cfg.MaxStallEvents
 	vm := hostos.NewVM(cfg.Host)
 	link := interconnect.NewLink(cfg.Link)
-	drv := uvm.NewDriver(cfg.Driver, eng, vm, link)
+	drv, err := uvm.NewDriver(cfg.Driver, eng, vm, link)
+	if err != nil {
+		return nil, err
+	}
 	drv.Collector.KeepFaults = cfg.KeepFaults
 	drv.Collector.KeepSpans = cfg.KeepSpans
-	dev := gpu.NewDevice(cfg.GPU, eng, drv)
-	drv.Attach(dev)
-	return &Simulator{
-		Config: cfg,
-		Engine: eng,
-		Device: dev,
-		Driver: drv,
-		HostVM: vm,
+	dev, err := gpu.NewDevice(cfg.GPU, eng, drv)
+	if err != nil {
+		return nil, err
 	}
+	drv.Attach(dev)
+	inj, err := faultinject.New(cfg.Inject)
+	if err != nil {
+		return nil, err
+	}
+	drv.SetInjector(inj)
+	dev.SetInjector(inj)
+	return &Simulator{
+		Config:   cfg,
+		Engine:   eng,
+		Device:   dev,
+		Driver:   drv,
+		HostVM:   vm,
+		Injector: inj,
+	}, nil
 }
 
 // Run executes the workload under UVM demand paging and returns its
@@ -206,17 +242,25 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 			s.Driver.PreUnmapAllocations()
 		}
 		start := s.Engine.Now()
-		s.Device.LaunchKernel(ph.Kernel, func() {
+		err := s.Device.LaunchKernel(ph.Kernel, func() {
 			kernelTime += s.Engine.Now() - start
 			runPhase(i + 1)
 		})
+		if err != nil {
+			s.Engine.Fail(fmt.Errorf("guvm: phase %d: %w", i, err))
+		}
 	}
 
 	s.Engine.Schedule(0, func() {
 		if explicit {
 			var copyCost sim.Time
 			for i, a := range allocs {
-				copyCost += s.Driver.ExplicitCopyToGPU(bases[i], a.Bytes)
+				c, err := s.Driver.ExplicitCopyToGPU(bases[i], a.Bytes)
+				if err != nil {
+					s.Engine.Fail(fmt.Errorf("guvm: allocation %d: %w", i, err))
+					return
+				}
+				copyCost += c
 			}
 			s.Engine.Schedule(copyCost, func() { runPhase(0) })
 			return
@@ -224,16 +268,27 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 		runPhase(0)
 	})
 
+	var engErr error
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				runErr = fmt.Errorf("guvm: simulation panicked: %v", r)
 			}
 		}()
-		s.Engine.Run()
+		_, engErr = s.Engine.Run()
 	}()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if engErr != nil {
+		return nil, engErr
+	}
+	if s.Device.Running() {
+		// The event queue drained with the kernel incomplete: a fault
+		// was lost for good (injected drops past their retry budget with
+		// no later replay). Surface a typed diagnostic, not a hang.
+		return nil, fmt.Errorf("guvm: kernel incomplete at virtual time %d ns with no pending events: %w",
+			s.Engine.Now(), ErrStalled)
 	}
 
 	col := s.Driver.Collector
@@ -249,5 +304,6 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 		DeviceStats: s.Device.Stats(),
 		HostStats:   s.HostVM.Stats(),
 		LinkStats:   s.Driver.Link().Stats(),
+		InjectStats: s.Injector.Stats(),
 	}, nil
 }

@@ -15,9 +15,18 @@ func testConfig() SystemConfig {
 	return cfg
 }
 
+func mustSim(t *testing.T, cfg SystemConfig) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	return s
+}
+
 func mustRun(t *testing.T, cfg SystemConfig, w workloads.Workload) *Result {
 	t.Helper()
-	res, err := NewSimulator(cfg).Run(w)
+	res, err := mustSim(t, cfg).Run(w)
 	if err != nil {
 		t.Fatalf("%s: %v", w.Name(), err)
 	}
@@ -58,7 +67,7 @@ func TestSimulatorRunsEveryWorkload(t *testing.T) {
 }
 
 func TestSimulatorSingleShot(t *testing.T) {
-	s := NewSimulator(testConfig())
+	s := mustSim(t, testConfig())
 	if _, err := s.Run(workloads.NewStream(4<<20, 8)); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +78,7 @@ func TestSimulatorSingleShot(t *testing.T) {
 
 func TestExplicitManagementFaultFree(t *testing.T) {
 	cfg := testConfig()
-	res, err := NewSimulator(cfg).RunExplicit(workloads.NewStream(8<<20, 16))
+	res, err := mustSim(t, cfg).RunExplicit(workloads.NewStream(8<<20, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +96,7 @@ func TestExplicitManagementFaultFree(t *testing.T) {
 func TestExplicitRefusesOversubscription(t *testing.T) {
 	cfg := testConfig()
 	cfg.Driver.GPUMemBytes = 8 << 20
-	if _, err := NewSimulator(cfg).RunExplicit(workloads.NewStream(8<<20, 16)); err == nil {
+	if _, err := mustSim(t, cfg).RunExplicit(workloads.NewStream(8<<20, 16)); err == nil {
 		t.Fatal("explicit oversubscription accepted")
 	}
 }
@@ -103,7 +112,7 @@ func TestUVMSlowerThanExplicit(t *testing.T) {
 		return s
 	}
 	uvmRes := mustRun(t, cfg, w())
-	expRes, err := NewSimulator(cfg).RunExplicit(w())
+	expRes, err := mustSim(t, cfg).RunExplicit(w())
 	if err != nil {
 		t.Fatal(err)
 	}

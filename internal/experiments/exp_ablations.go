@@ -74,7 +74,10 @@ func AblAdaptiveBatch() *Artifact {
 		cfg := noPrefetch(baseConfig())
 		cfg.Driver.BatchSize = 1024
 		cfg.Driver.AdaptiveBatch = adaptive
-		s := guvm.NewSimulator(cfg)
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			panic(err)
+		}
 		res, err := s.Run(mk())
 		if err != nil {
 			panic(err)

@@ -27,7 +27,10 @@ func ExtMultiGPU() *Artifact {
 	slowdowns := map[int]float64{}
 	for _, n := range []int{1, 2, 4} {
 		cfg := baseConfig()
-		m := guvm.NewMultiSimulator(cfg, n)
+		m, err := guvm.NewMultiSimulator(cfg, n)
+		if err != nil {
+			panic(err)
+		}
 		ws := make([]workloads.Workload, n)
 		for i := range ws {
 			ws[i] = mk()

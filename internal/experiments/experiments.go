@@ -104,7 +104,11 @@ func noPrefetch(cfg guvm.SystemConfig) guvm.SystemConfig {
 // run executes a workload, panicking on error (experiments are
 // deterministic; an error is a bug).
 func run(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
-	res, err := guvm.NewSimulator(cfg).Run(w)
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", w.Name(), err))
+	}
+	res, err := s.Run(w)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", w.Name(), err))
 	}
@@ -113,7 +117,11 @@ func run(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
 
 // runExplicit executes the explicit-management baseline.
 func runExplicit(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
-	res, err := guvm.NewSimulator(cfg).RunExplicit(w)
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: explicit %s: %v", w.Name(), err))
+	}
+	res, err := s.RunExplicit(w)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: explicit %s: %v", w.Name(), err))
 	}

@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"guvm/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"drop rate > 1", func(c *Config) { c.BufferDropRate = 1.5 }},
+		{"negative drop rate", func(c *Config) { c.BufferDropRate = -0.1 }},
+		{"migrate rate > 1", func(c *Config) { c.MigrateFailRate = 2 }},
+		{"host rate > 1", func(c *Config) { c.HostAllocFailRate = 1.01 }},
+		{"negative drop retries", func(c *Config) { c.BufferDropRetries = -1 }},
+		{"negative migrate retries", func(c *Config) { c.MigrateMaxRetries = -1 }},
+		{"negative host retries", func(c *Config) { c.HostAllocMaxRetries = -2 }},
+		{"negative retry delay", func(c *Config) { c.BufferRetryDelay = -1 }},
+		{"negative backoff", func(c *Config) { c.MigrateBackoff = -5 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", tc.name)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted bad config", tc.name)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if DefaultConfig().Enabled() {
+		t.Fatal("default (all-zero-rate) config reports enabled")
+	}
+	cfg := DefaultConfig()
+	cfg.MigrateFailRate = 0.01
+	if !cfg.Enabled() {
+		t.Fatal("non-zero rate reports disabled")
+	}
+	var nilInj *Injector
+	if nilInj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.ShouldDropFault() || in.HostAllocFails() {
+		t.Fatal("nil injector injected")
+	}
+	if f, fatal := in.MigrateFailures(); f != 0 || fatal {
+		t.Fatal("nil injector planned migration failures")
+	}
+	if in.BufferRetryBudget() != 0 || in.BufferRetryDelay() != 0 ||
+		in.HostAllocRetryBudget() != 0 || in.MigrateBackoffFor(3) != 0 {
+		t.Fatal("nil injector returned non-zero budgets")
+	}
+	in.NoteRetried(BufferDrop)
+	in.NoteRecovered(Migrate)
+	in.NoteUnrecovered(HostAlloc)
+	if in.Stats() != (Stats{}) {
+		t.Fatal("nil injector accumulated stats")
+	}
+}
+
+func TestZeroRateDrawsNothing(t *testing.T) {
+	// A zero-rate category must not consume RNG state, so running with an
+	// inert injector is bit-identical to running with none.
+	in, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if in.ShouldDropFault() || in.HostAllocFails() {
+			t.Fatal("zero-rate injector injected")
+		}
+		if f, _ := in.MigrateFailures(); f != 0 {
+			t.Fatal("zero-rate injector planned failures")
+		}
+	}
+	if in.Stats() != (Stats{}) {
+		t.Fatalf("zero-rate injector counted: %+v", in.Stats())
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	cfg.BufferDropRate = 0.3
+	cfg.MigrateFailRate = 0.25
+	cfg.HostAllocFailRate = 0.2
+	run := func() ([]bool, []int, Stats) {
+		in, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var drops []bool
+		var migs []int
+		for i := 0; i < 500; i++ {
+			drops = append(drops, in.ShouldDropFault())
+			f, _ := in.MigrateFailures()
+			migs = append(migs, f)
+			in.HostAllocFails()
+		}
+		return drops, migs, in.Stats()
+	}
+	d1, m1, s1 := run()
+	d2, m2, s2 := run()
+	if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(m1, m2) || s1 != s2 {
+		t.Fatal("same seed+config produced diverging injection sequences")
+	}
+}
+
+func TestCategoryStreamsIndependent(t *testing.T) {
+	// Drawing from one category must not shift another category's stream.
+	cfg := DefaultConfig()
+	cfg.BufferDropRate = 0.5
+	cfg.MigrateFailRate = 0.5
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	// a interleaves migrate draws; b does not.
+	var da, db []bool
+	for i := 0; i < 200; i++ {
+		da = append(da, a.ShouldDropFault())
+		a.MigrateFailures()
+	}
+	for i := 0; i < 200; i++ {
+		db = append(db, b.ShouldDropFault())
+	}
+	if !reflect.DeepEqual(da, db) {
+		t.Fatal("migrate draws perturbed the buffer-drop stream")
+	}
+}
+
+func TestMigrateFailuresAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrateFailRate = 1.0 // every attempt fails: always fatal
+	cfg.MigrateMaxRetries = 3
+	in, _ := New(cfg)
+	f, fatal := in.MigrateFailures()
+	if !fatal {
+		t.Fatal("rate-1.0 migration was not fatal")
+	}
+	if f != 4 { // initial attempt + 3 retries
+		t.Fatalf("failures = %d, want 4", f)
+	}
+	s := in.Stats().Migrate
+	if s.Injected != 4 || s.Retried != 3 || s.Unrecovered != 1 || s.Recovered != 0 {
+		t.Fatalf("counters = %+v, want {4 3 0 1}", s)
+	}
+}
+
+func TestMigrateRecoveredCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrateFailRate = 0.5
+	cfg.MigrateMaxRetries = 20 // virtually never fatal at rate 0.5
+	in, _ := New(cfg)
+	sawRecovery := false
+	for i := 0; i < 200; i++ {
+		f, fatal := in.MigrateFailures()
+		if fatal {
+			t.Fatal("fatal at rate 0.5 with 20 retries (p = 2^-21 per op)")
+		}
+		if f > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Fatal("200 ops at rate 0.5 injected nothing")
+	}
+	s := in.Stats().Migrate
+	if s.Recovered == 0 || s.Injected == 0 {
+		t.Fatalf("recovery not counted: %+v", s)
+	}
+	if s.Injected != s.Retried { // every non-fatal failure is retried
+		t.Fatalf("injected (%d) != retried (%d) though nothing was fatal", s.Injected, s.Retried)
+	}
+}
+
+func TestMigrateBackoffDoubles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrateBackoff = 10 * sim.Microsecond
+	in, _ := New(cfg)
+	for i := 0; i < 4; i++ {
+		want := cfg.MigrateBackoff << uint(i)
+		if got := in.MigrateBackoffFor(i); got != want {
+			t.Fatalf("backoff[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestNoteCounters(t *testing.T) {
+	in, _ := New(DefaultConfig())
+	in.NoteRetried(BufferDrop)
+	in.NoteRetried(BufferDrop)
+	in.NoteRecovered(BufferDrop)
+	in.NoteUnrecovered(HostAlloc)
+	s := in.Stats()
+	if s.BufferDrop.Retried != 2 || s.BufferDrop.Recovered != 1 {
+		t.Fatalf("buffer-drop counters = %+v", s.BufferDrop)
+	}
+	if s.HostAlloc.Unrecovered != 1 {
+		t.Fatalf("host-alloc counters = %+v", s.HostAlloc)
+	}
+	if s.Of(BufferDrop) != s.BufferDrop || s.Of(Migrate) != s.Migrate {
+		t.Fatal("Stats.Of disagrees with fields")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		BufferDrop:    "buffer-drop",
+		Migrate:       "migrate",
+		HostAlloc:     "host-alloc",
+		Category(200): "unknown",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

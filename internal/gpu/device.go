@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"guvm/internal/faultinject"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 )
@@ -84,6 +85,11 @@ type Stats struct {
 	ThrottleStalls  int // issue attempts delayed by the SM rate throttle
 	UTLBFullStalls  int // warp stalls on µTLB capacity
 	BlocksCompleted int
+
+	// Fault-injection telemetry (zero unless an injector is attached).
+	InjectedDrops       int // delivery attempts dropped by injection
+	InjectedDropRetries int // hardware re-emissions after an injected drop
+	InjectedDropsLost   int // drops whose re-emission budget ran out
 }
 
 // access is one outstanding page access by one warp.
@@ -187,15 +193,16 @@ type Device struct {
 	// the driver enables it).
 	Counters *AccessCounters
 
+	inj        *faultinject.Injector
 	nextWarpID int
 	stats      Stats
 }
 
 // NewDevice builds a device on the given engine with the given residency
-// oracle. It panics on an invalid configuration.
-func NewDevice(cfg Config, eng *sim.Engine, res ResidencyChecker) *Device {
+// oracle. An invalid configuration is an error.
+func NewDevice(cfg Config, eng *sim.Engine, res ResidencyChecker) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	d := &Device{
 		cfg:      cfg,
@@ -213,7 +220,7 @@ func NewDevice(cfg Config, eng *sim.Engine, res ResidencyChecker) *Device {
 	for i := range d.sms {
 		d.sms[i] = &smState{id: i, dev: d, utlb: d.utlbs[i/cfg.SMsPerUTLB]}
 	}
-	return d
+	return d, nil
 }
 
 // Config returns the device configuration.
@@ -226,14 +233,18 @@ func (d *Device) Stats() Stats { return d.stats }
 // InterruptLatency after the fault buffer transitions empty -> non-empty.
 func (d *Device) SetInterruptHandler(fn func()) { d.onInterrupt = fn }
 
+// SetInjector attaches a fault injector to the fault-delivery path. A nil
+// injector (the default) disables injection.
+func (d *Device) SetInjector(in *faultinject.Injector) { d.inj = in }
+
 // LaunchKernel starts a kernel; done is called when every block retires.
 // Only one kernel may run at a time.
-func (d *Device) LaunchKernel(k Kernel, done func()) {
+func (d *Device) LaunchKernel(k Kernel, done func()) error {
 	if d.launched {
-		panic("gpu: kernel already running")
+		return ErrKernelRunning
 	}
 	if k.NumBlocks < 0 {
-		panic("gpu: negative block count")
+		return fmt.Errorf("gpu: %d blocks: %w", k.NumBlocks, ErrBadKernel)
 	}
 	d.kernel = k
 	d.nextBlock = 0
@@ -242,18 +253,19 @@ func (d *Device) LaunchKernel(k Kernel, done func()) {
 	d.doneCb = done
 	if k.NumBlocks == 0 {
 		d.finishKernel()
-		return
+		return nil
 	}
 	// Fill every SM up to its resident-block limit, round-robin, the way
 	// a real grid launch distributes blocks.
 	for slot := 0; slot < d.cfg.MaxBlocksPerSM; slot++ {
 		for _, s := range d.sms {
 			if d.nextBlock >= k.NumBlocks {
-				return
+				return nil
 			}
 			d.startBlock(s)
 		}
 	}
+	return nil
 }
 
 func (d *Device) startBlock(s *smState) {
@@ -321,20 +333,50 @@ func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) 
 		Kind:  kind,
 		Dup:   dup,
 	}
-	d.eng.Schedule(d.cfg.GMMULatency, func() {
-		f.Time = d.eng.Now()
-		wasEmpty := d.Buffer.Len() == 0
-		if !d.Buffer.Push(f) {
-			return
+	d.eng.Schedule(d.cfg.GMMULatency, func() { d.deliver(f, 0) })
+}
+
+// deliver lands one fault record in the buffer. With fault injection
+// enabled the write can be dropped as if the buffer had overflowed; the
+// hardware then re-emits the record after a delay, up to the configured
+// budget. A record that exhausts its budget stays lost until the driver's
+// next fault replay re-checks the µTLB's pending entries (the software
+// safety net real GPUs rely on for dropped faults).
+func (d *Device) deliver(f Fault, attempt int) {
+	if d.inj.ShouldDropFault() {
+		d.stats.InjectedDrops++
+		if attempt < d.inj.BufferRetryBudget() {
+			d.inj.NoteRetried(faultinject.BufferDrop)
+			d.stats.InjectedDropRetries++
+			delay := d.inj.BufferRetryDelay()
+			if delay <= 0 {
+				delay = d.cfg.GMMULatency
+			}
+			d.eng.Schedule(delay, func() { d.deliver(f, attempt+1) })
+		} else {
+			// Budget exhausted: the record is lost. If a later batch
+			// replays, the waiting access re-faults (software recovery);
+			// otherwise the run surfaces a stall diagnostic.
+			d.inj.NoteUnrecovered(faultinject.BufferDrop)
+			d.stats.InjectedDropsLost++
 		}
-		d.stats.FaultsEmitted++
-		if dup {
-			d.stats.DupFaults++
-		}
-		if wasEmpty && d.onInterrupt != nil {
-			d.eng.Schedule(d.cfg.InterruptLatency, d.onInterrupt)
-		}
-	})
+		return
+	}
+	if attempt > 0 {
+		d.inj.NoteRecovered(faultinject.BufferDrop)
+	}
+	f.Time = d.eng.Now()
+	wasEmpty := d.Buffer.Len() == 0
+	if !d.Buffer.Push(f) {
+		return
+	}
+	d.stats.FaultsEmitted++
+	if f.Dup {
+		d.stats.DupFaults++
+	}
+	if wasEmpty && d.onInterrupt != nil {
+		d.eng.Schedule(d.cfg.InterruptLatency, d.onInterrupt)
+	}
 }
 
 // Replay clears all µTLB fault entries and re-checks every waiting access,
@@ -492,7 +534,11 @@ func (w *warp) run() {
 			w.schedule(w.dev.cfg.OpIssueTime)
 			return
 		default:
-			panic("gpu: unknown op kind")
+			// Reachable through user-supplied custom workloads, so this
+			// surfaces as the run's terminal error instead of a panic.
+			w.dev.eng.Fail(fmt.Errorf("gpu: warp %d pc %d: unknown op kind %d: %w",
+				w.id, w.pc, op.Kind, ErrBadProgram))
+			return
 		}
 	}
 	w.finishedIssue = true

@@ -1,8 +1,10 @@
 package gpu
 
 import (
+	"errors"
 	"testing"
 
+	"guvm/internal/faultinject"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 )
@@ -144,31 +146,80 @@ func TestWarpWriteWithoutDepsDoesNotStall(t *testing.T) {
 	}
 }
 
-// TestLaunchWhileRunningPanics documents the single-kernel constraint.
-func TestLaunchWhileRunningPanics(t *testing.T) {
+// TestLaunchWhileRunningFails documents the single-kernel constraint.
+func TestLaunchWhileRunningFails(t *testing.T) {
 	eng := sim.NewEngine()
 	_, dev := newFakeDriver(eng, smallConfig())
-	dev.LaunchKernel(Kernel{NumBlocks: 1, BlockProgram: func(int) []Program {
+	if err := dev.LaunchKernel(Kernel{NumBlocks: 1, BlockProgram: func(int) []Program {
 		return []Program{{Compute(sim.Millisecond)}}
-	}}, func() {})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	dev.LaunchKernel(Kernel{NumBlocks: 1, BlockProgram: func(int) []Program {
+	}}, func() {}); err != nil {
+		t.Fatalf("first launch: %v", err)
+	}
+	err := dev.LaunchKernel(Kernel{NumBlocks: 1, BlockProgram: func(int) []Program {
 		return nil
 	}}, func() {})
+	if !errors.Is(err, ErrKernelRunning) {
+		t.Fatalf("second launch err = %v, want ErrKernelRunning", err)
+	}
 }
 
-// TestNegativeBlockCountPanics documents kernel validation.
-func TestNegativeBlockCountPanics(t *testing.T) {
+// TestNegativeBlockCountFails documents kernel validation.
+func TestNegativeBlockCountFails(t *testing.T) {
 	eng := sim.NewEngine()
 	_, dev := newFakeDriver(eng, smallConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	err := dev.LaunchKernel(Kernel{NumBlocks: -1}, func() {})
+	if !errors.Is(err, ErrBadKernel) {
+		t.Fatalf("err = %v, want ErrBadKernel", err)
+	}
+}
+
+// TestBadProgramFailsRun documents that a malformed warp program surfaces
+// as the run's terminal error, not a panic: custom workloads can contain
+// arbitrary op kinds.
+func TestBadProgramFailsRun(t *testing.T) {
+	eng := sim.NewEngine()
+	_, dev := newFakeDriver(eng, smallConfig())
+	if err := dev.LaunchKernel(Kernel{NumBlocks: 1, BlockProgram: func(int) []Program {
+		return []Program{{Op{Kind: OpKind(99)}}}
+	}}, func() {}); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if _, err := eng.Run(); !errors.Is(err, ErrBadProgram) {
+		t.Fatalf("run err = %v, want ErrBadProgram", err)
+	}
+}
+
+// TestInjectedDropRecoversByRetry drives faults through an injector that
+// drops the first delivery attempt: hardware-style re-emission must land
+// every record and the kernel must still complete, with recovery counted.
+func TestInjectedDropRecoversByRetry(t *testing.T) {
+	icfg := faultinject.DefaultConfig()
+	icfg.BufferDropRate = 0.4
+	icfg.BufferDropRetries = 8 // deep budget: every drop recovers by retry
+	in, err := faultinject.New(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	f, dev := newFakeDriver(eng, smallConfig())
+	dev.SetInjector(in)
+	done := false
+	if err := dev.LaunchKernel(Kernel{NumBlocks: 2, BlockProgram: func(b int) []Program {
+		return []Program{{Read(0, PageRange(mem.PageID(b*1000), 40)...)}}
+	}}, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng)
+	if !done {
+		t.Fatal("kernel never completed under injected drops")
+	}
+	st := in.Stats().BufferDrop
+	if st.Injected == 0 || st.Retried == 0 || st.Recovered == 0 {
+		t.Fatalf("drop counters = %+v, want injections, retries and recoveries", st)
+	}
+	for p := mem.PageID(0); p < 40; p++ {
+		if !f.resident[p] || !f.resident[1000+p] {
+			t.Fatalf("page %d never serviced", p)
 		}
-	}()
-	dev.LaunchKernel(Kernel{NumBlocks: -1}, func() {})
+	}
 }

@@ -30,7 +30,10 @@ func newFakeDriver(eng *sim.Engine, cfg Config) (*fakeDriver, *Device) {
 		drainDelay:  30 * sim.Microsecond,
 		sleeping:    true,
 	}
-	dev := NewDevice(cfg, eng, f)
+	dev, err := NewDevice(cfg, eng, f)
+	if err != nil {
+		panic(err)
+	}
 	dev.SetInterruptHandler(f.wake)
 	f.dev = dev
 	return f, dev
@@ -77,7 +80,11 @@ func smallConfig() Config {
 func run(t *testing.T, eng *sim.Engine) sim.Time {
 	t.Helper()
 	eng.MaxEvents = 50_000_000
-	return eng.Run()
+	end, err := eng.Run()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return end
 }
 
 // listing1Kernel reproduces the paper's Listing 1: one 32-thread warp,

@@ -1,0 +1,16 @@
+package gpu
+
+import "errors"
+
+// ErrKernelRunning is returned by LaunchKernel while a kernel is already
+// in flight; the device models one kernel at a time.
+var ErrKernelRunning = errors.New("gpu: kernel already running")
+
+// ErrBadKernel is returned by LaunchKernel for an unusable kernel
+// description (e.g. a negative block count).
+var ErrBadKernel = errors.New("gpu: invalid kernel")
+
+// ErrBadProgram is the sentinel for a malformed warp program discovered
+// during execution (an unknown op kind). It surfaces through the engine's
+// terminal error, since warps run inside event callbacks.
+var ErrBadProgram = errors.New("gpu: invalid warp program")

@@ -1,0 +1,9 @@
+package hostos
+
+import "errors"
+
+// ErrAllocFailed is the sentinel matched by errors.Is when a host page
+// allocation (population) request fails — in the model, only via fault
+// injection. The UVM driver reacts by degrading gracefully (shrinking its
+// batch, forcing eviction pressure) and retrying rather than aborting.
+var ErrAllocFailed = errors.New("hostos: page allocation failed")

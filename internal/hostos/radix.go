@@ -19,9 +19,9 @@ const (
 )
 
 type radixNode struct {
-	slots  [radixFanout]interface{} // child *radixNode or leaf value
-	count  int                      // occupied slots
-	offset int                      // slot index in parent (for delete path)
+	slots  [radixFanout]any // child *radixNode or leaf value
+	count  int              // occupied slots
+	offset int              // slot index in parent (for delete path)
 	parent *radixNode
 }
 

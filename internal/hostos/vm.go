@@ -1,6 +1,9 @@
 package hostos
 
 import (
+	"fmt"
+
+	"guvm/internal/faultinject"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 )
@@ -51,9 +54,11 @@ type Stats struct {
 	PagesPopulated int
 	DMAPagesMapped int
 	RadixNodes     int
-	UnmapTime      sim.Time
-	PopulateTime   sim.Time
-	DMAMapTime     sim.Time
+	// PopulateFailures counts Populate calls that failed by injection.
+	PopulateFailures int
+	UnmapTime        sim.Time
+	PopulateTime     sim.Time
+	DMAMapTime       sim.Time
 }
 
 type blockMapping struct {
@@ -71,6 +76,7 @@ type VM struct {
 	dma     RadixTree
 	dmaNext uint64
 	stats   Stats
+	inj     *faultinject.Injector
 }
 
 // NewVM returns a host VM model using the given cost constants.
@@ -80,6 +86,10 @@ func NewVM(cost CostModel) *VM {
 
 // Stats returns a copy of the accumulated host-OS statistics.
 func (vm *VM) Stats() Stats { return vm.stats }
+
+// SetInjector attaches a fault injector. A nil injector (the default)
+// disables injection.
+func (vm *VM) SetInjector(in *faultinject.Injector) { vm.inj = in }
 
 // TouchCPU records that CPU thread `thread` wrote page index pageIdx of
 // block: a host PTE now exists, so a later GPU fault in the block must pay
@@ -138,12 +148,19 @@ func (vm *VM) UnmapMappingRange(block mem.VABlockID) (cost sim.Time, unmapped in
 	return cost, unmapped
 }
 
-// Populate charges the zero-fill cost for n newly allocated pages.
-func (vm *VM) Populate(n int) sim.Time {
+// Populate allocates and zero-fills n pages, returning the virtual-time
+// cost. With fault injection enabled the allocation can fail with an
+// error wrapping ErrAllocFailed; the caller is expected to shed memory
+// pressure (evict, shrink batches) and retry.
+func (vm *VM) Populate(n int) (sim.Time, error) {
+	if vm.inj.HostAllocFails() {
+		vm.stats.PopulateFailures++
+		return 0, fmt.Errorf("hostos: populating %d pages: %w", n, ErrAllocFailed)
+	}
 	cost := sim.Time(n) * vm.cost.PopulatePerPage
 	vm.stats.PagesPopulated += n
 	vm.stats.PopulateTime += cost
-	return cost
+	return cost, nil
 }
 
 // MapDMA creates DMA mappings for every page of block and stores the

@@ -1,0 +1,42 @@
+package hostos
+
+import (
+	"errors"
+	"testing"
+
+	"guvm/internal/faultinject"
+)
+
+func TestPopulateInjectedFailure(t *testing.T) {
+	cfg := faultinject.DefaultConfig()
+	cfg.HostAllocFailRate = 1.0
+	in, err := faultinject.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(DefaultCostModel())
+	vm.SetInjector(in)
+	cost, err := vm.Populate(64)
+	if !errors.Is(err, ErrAllocFailed) {
+		t.Fatalf("err = %v, want ErrAllocFailed", err)
+	}
+	if cost != 0 {
+		t.Fatalf("failed populate charged %d ns", cost)
+	}
+	st := vm.Stats()
+	if st.PopulateFailures != 1 || st.PagesPopulated != 0 {
+		t.Fatalf("stats after failure = %+v", st)
+	}
+	if in.Stats().HostAlloc.Injected != 1 {
+		t.Fatalf("injector counters = %+v", in.Stats().HostAlloc)
+	}
+}
+
+func TestPopulateNilInjectorNeverFails(t *testing.T) {
+	vm := NewVM(DefaultCostModel())
+	for i := 0; i < 100; i++ {
+		if _, err := vm.Populate(10); err != nil {
+			t.Fatalf("uninjected populate failed: %v", err)
+		}
+	}
+}

@@ -75,7 +75,10 @@ func TestUnmapMultithreadedAmplification(t *testing.T) {
 func TestPopulateCost(t *testing.T) {
 	cmod := DefaultCostModel()
 	vm := NewVM(cmod)
-	cost := vm.Populate(512)
+	cost, err := vm.Populate(512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cost != 512*cmod.PopulatePerPage {
 		t.Fatalf("populate cost = %d", cost)
 	}

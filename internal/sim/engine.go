@@ -4,7 +4,10 @@
 // makes every simulation built on the engine fully reproducible.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Time is virtual simulation time in nanoseconds.
 type Time int64
@@ -41,9 +44,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -59,11 +62,21 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	stopped bool
+	err     error
 	// executed counts events that have been dispatched, for diagnostics.
 	executed uint64
+	// stall counts consecutive events dispatched without the virtual
+	// clock advancing, for the no-progress watchdog.
+	stall uint64
 	// MaxEvents, when non-zero, aborts Run after that many events as a
-	// runaway-simulation backstop.
+	// runaway-simulation backstop. The run ends with an ErrLivelock-
+	// wrapped *LivelockError.
 	MaxEvents uint64
+	// MaxStallEvents, when non-zero, aborts Run once that many
+	// consecutive events execute at the same virtual instant — a model
+	// rescheduling itself with zero delay never advances the clock, and
+	// this watchdog catches it long before MaxEvents would.
+	MaxStallEvents uint64
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -101,38 +114,87 @@ func (e *Engine) At(t Time, fn func()) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run dispatches events in timestamp order until the queue drains, Stop is
-// called, or MaxEvents is exceeded. It returns the final virtual time.
-func (e *Engine) Run() Time {
+// Fail records err as the run's terminal error and stops the dispatch
+// loop. The first error wins; later calls only stop the loop. Models use
+// it to surface unrecoverable conditions from inside event callbacks,
+// where no return path to the Run caller exists.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.stopped = true
+}
+
+// Err returns the terminal error recorded by Fail or a watchdog, if any.
+func (e *Engine) Err() error { return e.err }
+
+// dispatch runs one popped event, enforcing the livelock watchdogs. It
+// reports false when a watchdog aborted the run (the event is not
+// executed).
+func (e *Engine) dispatch(ev *event) bool {
+	if ev.at > e.now {
+		e.stall = 0
+	} else {
+		e.stall++
+		if e.MaxStallEvents != 0 && e.stall > e.MaxStallEvents {
+			e.Fail(&LivelockError{
+				Reason:   fmt.Sprintf("virtual clock stalled for %d consecutive events", e.stall),
+				At:       e.now,
+				Executed: e.executed,
+				Pending:  len(e.pq) + 1,
+			})
+			return false
+		}
+	}
+	e.now = ev.at
+	e.executed++
+	if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+		e.Fail(&LivelockError{
+			Reason:   fmt.Sprintf("MaxEvents (%d) exceeded", e.MaxEvents),
+			At:       e.now,
+			Executed: e.executed,
+			Pending:  len(e.pq) + 1,
+		})
+		return false
+	}
+	ev.fn()
+	return true
+}
+
+// Run dispatches events in timestamp order until the queue drains, Stop or
+// Fail is called, or a watchdog fires. It returns the final virtual time
+// and the terminal error, if any; a run that already failed returns its
+// error without dispatching further events.
+func (e *Engine) Run() (Time, error) {
+	if e.err != nil {
+		return e.now, e.err
+	}
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
 		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		e.executed++
-		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
-			panic("sim: MaxEvents exceeded; simulation is likely livelocked")
+		if !e.dispatch(ev) {
+			break
 		}
-		ev.fn()
 	}
-	return e.now
+	return e.now, e.err
 }
 
 // RunUntil dispatches events with timestamps <= deadline and then returns.
 // Events beyond the deadline remain queued; the clock is left at the later
 // of its current value and the deadline.
-func (e *Engine) RunUntil(deadline Time) Time {
+func (e *Engine) RunUntil(deadline Time) (Time, error) {
+	if e.err != nil {
+		return e.now, e.err
+	}
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped && e.pq[0].at <= deadline {
 		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		e.executed++
-		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
-			panic("sim: MaxEvents exceeded; simulation is likely livelocked")
+		if !e.dispatch(ev) {
+			break
 		}
-		ev.fn()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return e.now
+	return e.now, e.err
 }

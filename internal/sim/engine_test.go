@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -11,7 +12,10 @@ func TestEngineOrdering(t *testing.T) {
 	e.Schedule(30, func() { got = append(got, 3) })
 	e.Schedule(10, func() { got = append(got, 1) })
 	e.Schedule(20, func() { got = append(got, 2) })
-	end := e.Run()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if end != 30 {
 		t.Fatalf("final time = %d, want 30", end)
 	}
@@ -135,12 +139,80 @@ func TestEngineMaxEventsBackstop(t *testing.T) {
 	var loop func()
 	loop = func() { e.Schedule(1, loop) }
 	e.Schedule(0, loop)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic from MaxEvents backstop")
+	_, err := e.Run()
+	if err == nil {
+		t.Fatal("expected error from MaxEvents backstop")
+	}
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("err %T is not *LivelockError", err)
+	}
+	if le.Executed != 11 {
+		t.Fatalf("diagnostic executed = %d, want 11", le.Executed)
+	}
+	if le.Pending == 0 {
+		t.Fatal("diagnostic lost pending-event count")
+	}
+	// A failed engine stays failed: a second Run dispatches nothing.
+	before := e.Executed()
+	if _, err2 := e.Run(); err2 == nil || e.Executed() != before {
+		t.Fatal("failed engine resumed dispatching")
+	}
+}
+
+func TestEngineStallWatchdog(t *testing.T) {
+	e := NewEngine()
+	e.MaxStallEvents = 50
+	var spin func()
+	spin = func() { e.Schedule(0, spin) } // never advances the clock
+	e.Schedule(5, spin)
+	_, err := e.Run()
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("aborted at %d, want 5 (stall instant)", e.Now())
+	}
+}
+
+func TestEngineStallWatchdogResetsOnProgress(t *testing.T) {
+	e := NewEngine()
+	e.MaxStallEvents = 10
+	// 8 same-instant events per tick, across 100 ticks: never trips.
+	for tick := 1; tick <= 100; tick++ {
+		for i := 0; i < 8; i++ {
+			e.Schedule(Time(tick), func() {})
 		}
-	}()
-	e.Run()
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("watchdog fired on advancing clock: %v", err)
+	}
+}
+
+func TestEngineFailStopsRun(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("boom")
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Fail(boom) })
+	e.Schedule(2, func() { ran++ })
+	_, err := e.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Fail, want 1", ran)
+	}
+	if e.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+	// First error wins.
+	e.Fail(errors.New("later"))
+	if !errors.Is(e.Err(), boom) {
+		t.Fatal("later Fail overwrote first error")
+	}
 }
 
 func TestTimeConversions(t *testing.T) {

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLivelock is the sentinel matched by errors.Is when a watchdog aborts a
+// run: either the MaxEvents backstop or the no-progress (stalled virtual
+// clock) detector fired. The concrete error is always a *LivelockError
+// carrying the diagnostic.
+var ErrLivelock = errors.New("sim: livelock")
+
+// LivelockError is the structured diagnostic produced when the engine
+// watchdog terminates a run instead of letting it spin forever.
+type LivelockError struct {
+	// Reason names the watchdog that fired.
+	Reason string
+	// At is the virtual time at which the run was aborted.
+	At Time
+	// Executed is how many events had been dispatched.
+	Executed uint64
+	// Pending is how many events were still queued.
+	Pending int
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("sim: livelock: %s (virtual time %d ns, %d events executed, %d pending)",
+		e.Reason, e.At, e.Executed, e.Pending)
+}
+
+// Unwrap lets errors.Is(err, ErrLivelock) match.
+func (e *LivelockError) Unwrap() error { return ErrLivelock }

@@ -34,6 +34,12 @@ type BatchRecord struct {
 	UnmapPages      int // CPU pages unmapped via unmap_mapping_range
 	NewDMABlocks    int // VABlocks that paid first-touch DMA mapping setup
 
+	// Injected-fault recovery work (zero unless fault injection is on;
+	// intentionally absent from the CSV export to keep uninjected runs
+	// bit-identical).
+	InjMigFailures    int // transient migration transfer failures retried
+	InjHostAllocFails int // host allocation failures degraded around
+
 	// Time components (sum <= End-Start; the remainder is batch setup
 	// and replay issue).
 	TFetch     sim.Time

@@ -61,8 +61,14 @@ func TestArbiterReleasePanicsWhenIdle(t *testing.T) {
 func newSystemShared(eng *sim.Engine, gcfg gpu.Config, ucfg Config) (*Driver, *gpu.Device) {
 	vm := hostos.NewVM(hostos.DefaultCostModel())
 	link := interconnect.NewLink(interconnect.DefaultPCIe3x16())
-	drv := NewDriver(ucfg, eng, vm, link)
-	dev := gpu.NewDevice(gcfg, eng, drv)
+	drv, err := NewDriver(ucfg, eng, vm, link)
+	if err != nil {
+		panic(err)
+	}
+	dev, err := gpu.NewDevice(gcfg, eng, drv)
+	if err != nil {
+		panic(err)
+	}
 	drv.Attach(dev)
 	return drv, dev
 }

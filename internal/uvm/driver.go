@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
 	"guvm/internal/gpumem"
 	"guvm/internal/hostos"
@@ -53,6 +54,15 @@ type Stats struct {
 	// the fault path at kernel launch.
 	AsyncUnmapCalls int
 	AsyncUnmapTime  sim.Time
+	// MigRetries counts migration transfer attempts repeated after an
+	// injected transient failure.
+	MigRetries int
+	// HostAllocFailures counts injected host allocation failures the
+	// driver degraded around.
+	HostAllocFailures int
+	// BatchShrinks counts effective-batch-size halvings forced by host
+	// allocation pressure.
+	BatchShrinks int
 }
 
 // allocSpan records one managed allocation's VABlock range.
@@ -86,6 +96,7 @@ type Driver struct {
 	effBatch int
 
 	evictRNG *sim.RNG
+	inj      *faultinject.Injector
 
 	// arbiter, when set, serializes batch servicing with other drivers
 	// sharing the host (multi-GPU).
@@ -96,10 +107,11 @@ type Driver struct {
 }
 
 // NewDriver builds a driver. Call Attach to wire it to a device before
-// launching kernels; the driver is the device's ResidencyChecker.
-func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Link) *Driver {
+// launching kernels; the driver is the device's ResidencyChecker. An
+// invalid configuration is an error.
+func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Link) (*Driver, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return &Driver{
 		cfg:       cfg,
@@ -113,7 +125,7 @@ func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Li
 		effBatch:  cfg.BatchSize,
 		evictRNG:  sim.NewRNG(cfg.EvictionSeed),
 		Collector: &trace.Collector{},
-	}
+	}, nil
 }
 
 // Attach wires the driver to its device and registers the interrupt
@@ -129,6 +141,14 @@ func (d *Driver) Attach(dev *gpu.Device) {
 // SetArbiter makes the driver contend for the shared host service slot
 // before each batch (multi-GPU configurations).
 func (d *Driver) SetArbiter(a *Arbiter) { d.arbiter = a }
+
+// SetInjector attaches a fault injector to the driver's migration and
+// host-allocation paths (and to the backing host VM). A nil injector (the
+// default) disables injection.
+func (d *Driver) SetInjector(in *faultinject.Injector) {
+	d.inj = in
+	d.vm.SetInjector(in)
+}
 
 // Config returns the driver configuration.
 func (d *Driver) Config() Config { return d.cfg }
@@ -220,14 +240,14 @@ func (d *Driver) TouchHost(base mem.Addr, bytes uint64, threads int) {
 // ExplicitCopyToGPU models explicit (cudaMemcpy-style) management of the
 // range [base, base+bytes): one bulk transfer outside the fault path. All
 // covered blocks become fully resident; the returned cost is the transfer
-// time, which the caller must account to the virtual clock. It panics if
-// device memory cannot hold the data — explicit management cannot
-// oversubscribe.
-func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) sim.Time {
+// time, which the caller must account to the virtual clock. It returns an
+// error wrapping ErrCapacityExhausted if device memory cannot hold the
+// data — explicit management cannot oversubscribe.
+func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) (sim.Time, error) {
 	nblocks := int(mem.AlignUp(bytes, mem.VABlockSize) / mem.VABlockSize)
 	if d.pmm.InUse()+nblocks > d.pmm.Capacity() {
-		panic(fmt.Sprintf("uvm: explicit copy of %d blocks exceeds capacity (%d in use of %d)",
-			nblocks, d.pmm.InUse(), d.pmm.Capacity()))
+		return 0, fmt.Errorf("uvm: explicit copy of %d blocks (%d in use of %d): %w",
+			nblocks, d.pmm.InUse(), d.pmm.Capacity(), ErrCapacityExhausted)
 	}
 	first := mem.VABlockOf(base)
 	for i := 0; i < nblocks; i++ {
@@ -240,7 +260,8 @@ func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) sim.Time {
 		if !b.hasChunk {
 			id, ok := d.pmm.Alloc(bid)
 			if !ok {
-				panic("uvm: explicit copy allocation failed")
+				return 0, fmt.Errorf("uvm: explicit copy allocation of block %d: %w",
+					bid, ErrCapacityExhausted)
 			}
 			b.hasChunk = true
 			b.chunk = id
@@ -253,7 +274,7 @@ func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) sim.Time {
 		b.dmaMapped = true
 		b.lastTouch = d.batchCount
 	}
-	return d.link.TransferBytes(bytes, true)
+	return d.link.TransferBytes(bytes, true), nil
 }
 
 // IsResidentOnGPU implements gpu.ResidencyChecker.
@@ -415,12 +436,22 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	total += d.cfg.Costs.BatchSetup + tFetch + rec.TDedup
 	blockCosts := make([]sim.Time, 0, len(blockOrder))
 	for _, bid := range blockOrder {
-		blockCosts = append(blockCosts, d.serviceBlock(bid, perBlock[bid], inThisBatch, &rec))
+		c, err := d.serviceBlock(bid, perBlock[bid], inThisBatch, &rec)
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		blockCosts = append(blockCosts, c)
 	}
 	// Cross-VABlock prefetch (§6 extension): eagerly migrate blocks
 	// following fully-resident faulting blocks.
 	if d.cfg.CrossBlockPrefetch > 0 {
-		blockCosts = append(blockCosts, d.crossBlockPrefetch(blockOrder, inThisBatch, &rec)...)
+		cs, err := d.crossBlockPrefetch(blockOrder, inThisBatch, &rec)
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		blockCosts = append(blockCosts, cs...)
 	}
 	// The shipped driver services blocks serially; with ServiceWorkers
 	// > 1 the batch's block time is the parallel makespan (§6's proposed
@@ -451,8 +482,18 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	})
 }
 
+// fail aborts the run with err as its terminal error, releasing the
+// shared service slot so diagnostics from other drivers stay coherent.
+func (d *Driver) fail(err error) {
+	d.inBatch = false
+	if d.arbiter != nil {
+		d.arbiter.Release()
+	}
+	d.eng.Fail(err)
+}
+
 // serviceBlock services one VABlock's faulted pages and returns its cost.
-func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
 	cost := d.cfg.Costs.PerVABlock
 	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
 
@@ -466,7 +507,11 @@ func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch
 	if !b.hasChunk {
 		id, ok := d.pmm.Alloc(bid)
 		for !ok {
-			cost += d.evictOne(bid, inThisBatch, rec)
+			c, err := d.evictOne(bid, inThisBatch, rec)
+			cost += c
+			if err != nil {
+				return cost, err
+			}
 			id, ok = d.pmm.Alloc(bid)
 		}
 		b.hasChunk = true
@@ -519,9 +564,11 @@ func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch
 	newPages.Union(&toMigrate)
 	newPages.Subtract(&b.populated)
 	if n := newPages.Count(); n > 0 {
-		t := d.vm.Populate(n)
+		t, err := d.populateWithRetry(bid, n, inThisBatch, rec)
 		cost += t
-		rec.TPopulate += t
+		if err != nil {
+			return cost, err
+		}
 	}
 
 	// Migration: coalesce into spans and move over the link.
@@ -531,8 +578,11 @@ func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch
 		migrating[i] = bid.PageAt(pi)
 	}
 	spans := mem.CoalescePages(migrating)
-	t := d.link.TransferSpans(spans, true)
+	t, err := d.transferWithRetry(bid, spans, rec)
 	cost += t
+	if err != nil {
+		return cost, err
+	}
 	rec.TTransfer += t
 	rec.PagesMigrated += len(migrating)
 	rec.BytesMigrated += uint64(len(migrating)) * mem.PageSize
@@ -547,14 +597,105 @@ func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch
 	// Mark residency.
 	b.resident.Union(&toMigrate)
 	b.populated.Union(&toMigrate)
-	return cost
+	return cost, nil
+}
+
+// populateWithRetry asks the host OS to populate n pages of block bid,
+// degrading gracefully on injected allocation failures: each failure
+// shrinks the effective batch size and sheds one device chunk (relieving
+// the memory pressure the failure models) before retrying, up to the
+// injector's budget. The accumulated cost includes the forced evictions.
+func (d *Driver) populateWithRetry(bid mem.VABlockID, n int, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
+	var cost, popCost sim.Time
+	budget := d.inj.HostAllocRetryBudget()
+	for attempt := 0; ; attempt++ {
+		t, err := d.vm.Populate(n)
+		cost += t
+		popCost += t
+		if err == nil {
+			if attempt > 0 {
+				d.inj.NoteRecovered(faultinject.HostAlloc)
+			}
+			// Forced-eviction cost is already in rec.TEvict; only the
+			// population time lands in TPopulate.
+			rec.TPopulate += popCost
+			return cost, nil
+		}
+		d.stats.HostAllocFailures++
+		rec.InjHostAllocFails++
+		if attempt >= budget {
+			d.inj.NoteUnrecovered(faultinject.HostAlloc)
+			return cost, fmt.Errorf("uvm: populating %d pages of block %d (attempt %d): %w",
+				n, bid, attempt+1, err)
+		}
+		d.inj.NoteRetried(faultinject.HostAlloc)
+		d.shrinkBatch()
+		if d.hasEvictionCandidate(bid) {
+			c, eerr := d.evictOne(bid, inThisBatch, rec)
+			cost += c
+			if eerr != nil {
+				return cost, eerr
+			}
+		}
+	}
+}
+
+// shrinkBatch halves the effective batch size down to the adaptive floor,
+// the driver's batch-pressure response to host allocation failure. With
+// AdaptiveBatch enabled, later duplicate-light batches grow it back.
+func (d *Driver) shrinkBatch() {
+	floor := d.cfg.AdaptiveMin
+	if floor < 1 {
+		floor = 1
+	}
+	if d.effBatch <= floor {
+		return
+	}
+	d.effBatch /= 2
+	if d.effBatch < floor {
+		d.effBatch = floor
+	}
+	d.stats.BatchShrinks++
+}
+
+// hasEvictionCandidate reports whether any allocated block other than
+// current could be evicted.
+func (d *Driver) hasEvictionCandidate(current mem.VABlockID) bool {
+	for _, b := range d.allocated {
+		if b.id != current {
+			return true
+		}
+	}
+	return false
+}
+
+// transferWithRetry migrates spans of block bid over the link. Each
+// injected transient failure re-pays the full transfer cost (the link
+// carried the bytes before failing) plus an exponential virtual-time
+// backoff; exhausting the retry budget is fatal. Only the final
+// successful attempt counts toward the batch's migrated bytes.
+func (d *Driver) transferWithRetry(bid mem.VABlockID, spans []mem.Span, rec *trace.BatchRecord) (sim.Time, error) {
+	failures, fatal := d.inj.MigrateFailures()
+	var cost sim.Time
+	for i := 0; i < failures; i++ {
+		cost += d.link.TransferSpans(spans, true)
+		cost += d.inj.MigrateBackoffFor(i)
+		d.stats.MigRetries++
+		rec.InjMigFailures++
+	}
+	if fatal {
+		return cost, fmt.Errorf("uvm: migrating block %d: %d transfer attempts failed: %w",
+			bid, failures, ErrMigrationFailed)
+	}
+	return cost + d.link.TransferSpans(spans, true), nil
 }
 
 // evictOne evicts the least-recently-touched block and returns the
 // eviction cost. Blocks being serviced in the current batch are only
 // victims of last resort (evicting them would immediately re-fault), and
-// the block currently allocating is never evicted.
-func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+// the block currently allocating is never evicted; if that leaves no
+// victim, the error wraps ErrCapacityExhausted.
+func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
 	pick := func(avoidBatch bool) (*blockState, int) {
 		var candidates []int
 		for i, b := range d.allocated {
@@ -603,8 +744,8 @@ func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]b
 		victim, vi = pick(false)
 	}
 	if victim == nil {
-		panic(fmt.Sprintf("uvm: cannot evict: capacity %d blocks all pinned",
-			d.cfg.CapacityBlocks()))
+		return 0, fmt.Errorf("uvm: cannot evict: capacity %d blocks all pinned: %w",
+			d.cfg.CapacityBlocks(), ErrCapacityExhausted)
 	}
 
 	cost := d.cfg.Costs.EvictBase
@@ -633,5 +774,5 @@ func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]b
 	rec.EvictedBlocks = append(rec.EvictedBlocks, victim.id)
 	rec.TEvict += cost
 	d.stats.Evictions++
-	return cost
+	return cost, nil
 }

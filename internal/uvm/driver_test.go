@@ -16,8 +16,14 @@ func newSystem(gcfg gpu.Config, ucfg Config) (*sim.Engine, *Driver, *gpu.Device)
 	eng.MaxEvents = 200_000_000
 	vm := hostos.NewVM(hostos.DefaultCostModel())
 	link := interconnect.NewLink(interconnect.DefaultPCIe3x16())
-	drv := NewDriver(ucfg, eng, vm, link)
-	dev := gpu.NewDevice(gcfg, eng, drv)
+	drv, err := NewDriver(ucfg, eng, vm, link)
+	if err != nil {
+		panic(err)
+	}
+	dev, err := gpu.NewDevice(gcfg, eng, drv)
+	if err != nil {
+		panic(err)
+	}
 	drv.Attach(dev)
 	return eng, drv, dev
 }
@@ -33,8 +39,12 @@ func runKernel(t *testing.T, eng *sim.Engine, dev *gpu.Device, k gpu.Kernel) sim
 	done := false
 	var dur sim.Time
 	start := eng.Now()
-	dev.LaunchKernel(k, func() { done = true; dur = eng.Now() - start })
-	eng.Run()
+	if err := dev.LaunchKernel(k, func() { done = true; dur = eng.Now() - start }); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
 	if !done {
 		t.Fatal("kernel never completed")
 	}

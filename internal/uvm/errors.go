@@ -1,0 +1,13 @@
+package uvm
+
+import "errors"
+
+// ErrCapacityExhausted is the sentinel for device-memory exhaustion the
+// driver cannot service: an explicit copy larger than device memory, or an
+// eviction request with every chunk pinned.
+var ErrCapacityExhausted = errors.New("uvm: device memory capacity exhausted")
+
+// ErrMigrationFailed is the sentinel for a migration whose transfer
+// attempts (including the bounded retry budget) all failed. It is only
+// reachable with fault injection enabled.
+var ErrMigrationFailed = errors.New("uvm: migration failed")

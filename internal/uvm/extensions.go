@@ -117,7 +117,7 @@ func (d *Driver) spanOf(bid mem.VABlockID) (allocSpan, bool) {
 // same allocation. It returns the per-block costs of the eager
 // migrations. This trades upfront work (and possible evictions — the
 // §5.3 hazard) for eliminating future first-touch batches.
-func (d *Driver) crossBlockPrefetch(blockOrder []mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) []sim.Time {
+func (d *Driver) crossBlockPrefetch(blockOrder []mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) ([]sim.Time, error) {
 	var costs []sim.Time
 	for _, bid := range blockOrder {
 		b := d.blocks[bid]
@@ -140,18 +140,22 @@ func (d *Driver) crossBlockPrefetch(blockOrder []mem.VABlockID, inThisBatch map[
 			if inThisBatch[next] {
 				break
 			}
-			costs = append(costs, d.migrateWholeBlock(next, inThisBatch, rec))
+			c, err := d.migrateWholeBlock(next, inThisBatch, rec)
+			if err != nil {
+				return costs, err
+			}
+			costs = append(costs, c)
 			inThisBatch[next] = true
 		}
 	}
-	return costs
+	return costs, nil
 }
 
 // migrateWholeBlock eagerly migrates all 512 pages of a block, paying the
 // same pipeline a faulting block would (allocation/eviction, DMA setup,
 // unmapping, population, transfer, page tables) and accounting the pages
 // as prefetched.
-func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) sim.Time {
+func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
 	cost := d.cfg.Costs.PerVABlock
 	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
 
@@ -163,7 +167,11 @@ func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABloc
 	if !b.hasChunk {
 		id, ok := d.pmm.Alloc(bid)
 		for !ok {
-			cost += d.evictOne(bid, inThisBatch, rec)
+			c, err := d.evictOne(bid, inThisBatch, rec)
+			cost += c
+			if err != nil {
+				return cost, err
+			}
 			id, ok = d.pmm.Alloc(bid)
 		}
 		b.hasChunk = true
@@ -190,13 +198,18 @@ func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABloc
 	newPages.SetAll()
 	newPages.Subtract(&b.populated)
 	if n := newPages.Count(); n > 0 {
-		t := d.vm.Populate(n)
+		t, err := d.populateWithRetry(bid, n, inThisBatch, rec)
 		cost += t
-		rec.TPopulate += t
+		if err != nil {
+			return cost, err
+		}
 	}
 	spans := []mem.Span{{First: bid.FirstPage(), Count: mem.PagesPerVABlock}}
-	t := d.link.TransferSpans(spans, true)
+	t, err := d.transferWithRetry(bid, spans, rec)
 	cost += t
+	if err != nil {
+		return cost, err
+	}
 	rec.TTransfer += t
 	rec.PagesMigrated += mem.PagesPerVABlock
 	rec.BytesMigrated += mem.VABlockSize
@@ -212,5 +225,5 @@ func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABloc
 
 	b.resident.SetAll()
 	b.populated.SetAll()
-	return cost
+	return cost, nil
 }

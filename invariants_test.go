@@ -79,7 +79,12 @@ func TestSystemInvariantsUnderRandomWorkloads(t *testing.T) {
 			cfg.Driver.GPUMemBytes = 64 << 20
 		}
 		w := &fuzzWorkload{seed: seed, blocks: 4, ops: 30}
-		res, err := NewSimulator(cfg).Run(w)
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		res, err := s.Run(w)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -150,7 +155,11 @@ func TestOversubscribedFuzzCompletes(t *testing.T) {
 		cfg.GPU.NumSMs = 4
 		cfg.Driver.GPUMemBytes = 4 << 20
 		w := &fuzzWorkload{seed: seed, blocks: 6, ops: 40}
-		res, err := NewSimulator(cfg).Run(w)
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := s.Run(w)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

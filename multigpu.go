@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
 	"guvm/internal/hostos"
 	"guvm/internal/interconnect"
@@ -20,44 +21,61 @@ import (
 // "interactions among multiple devices" follow-on the paper positions
 // itself as the foundation for.
 type MultiSimulator struct {
-	Config  SystemConfig
-	Engine  *sim.Engine
-	Devices []*gpu.Device
-	Drivers []*uvm.Driver
-	HostVM  *hostos.VM
-	Arbiter *uvm.Arbiter
+	Config   SystemConfig
+	Engine   *sim.Engine
+	Devices  []*gpu.Device
+	Drivers  []*uvm.Driver
+	HostVM   *hostos.VM
+	Arbiter  *uvm.Arbiter
+	Injector *faultinject.Injector
 
 	used bool
 }
 
 // NewMultiSimulator builds an n-device simulator. The host VM is shared
-// (one OS); links are per-device (separate PCIe slots).
-func NewMultiSimulator(cfg SystemConfig, n int) *MultiSimulator {
+// (one OS); links are per-device (separate PCIe slots). All devices share
+// one injector, so injection decisions stay deterministic under the
+// engine's global event order.
+func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 	if n < 1 {
-		panic("guvm: need at least one device")
+		return nil, fmt.Errorf("guvm: %d devices, need at least one", n)
 	}
 	eng := sim.NewEngine()
 	eng.MaxEvents = cfg.MaxEvents
+	eng.MaxStallEvents = cfg.MaxStallEvents
 	vm := hostos.NewVM(cfg.Host)
 	arb := uvm.NewArbiter(eng)
+	inj, err := faultinject.New(cfg.Inject)
+	if err != nil {
+		return nil, err
+	}
 	m := &MultiSimulator{
-		Config:  cfg,
-		Engine:  eng,
-		HostVM:  vm,
-		Arbiter: arb,
+		Config:   cfg,
+		Engine:   eng,
+		HostVM:   vm,
+		Arbiter:  arb,
+		Injector: inj,
 	}
 	for i := 0; i < n; i++ {
 		link := interconnect.NewLink(cfg.Link)
-		drv := uvm.NewDriver(cfg.Driver, eng, vm, link)
+		drv, err := uvm.NewDriver(cfg.Driver, eng, vm, link)
+		if err != nil {
+			return nil, err
+		}
 		drv.Collector.KeepFaults = cfg.KeepFaults
 		drv.Collector.KeepSpans = cfg.KeepSpans
-		dev := gpu.NewDevice(cfg.GPU, eng, drv)
+		dev, err := gpu.NewDevice(cfg.GPU, eng, drv)
+		if err != nil {
+			return nil, err
+		}
 		drv.Attach(dev)
 		drv.SetArbiter(arb)
+		drv.SetInjector(inj)
+		dev.SetInjector(inj)
 		m.Drivers = append(m.Drivers, drv)
 		m.Devices = append(m.Devices, dev)
 	}
-	return m
+	return m, nil
 }
 
 // RunConcurrent executes workload i on device i, all starting at virtual
@@ -111,24 +129,37 @@ func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, erro
 				drv.PreUnmapAllocations()
 			}
 			start := m.Engine.Now()
-			dev.LaunchKernel(ph.Kernel, func() {
+			err := dev.LaunchKernel(ph.Kernel, func() {
 				kernelTimes[i] += m.Engine.Now() - start
 				runPhase(p + 1)
 			})
+			if err != nil {
+				m.Engine.Fail(fmt.Errorf("guvm: device %d phase %d: %w", i, p, err))
+			}
 		}
 		m.Engine.Schedule(0, func() { runPhase(0) })
 	}
 
+	var engErr error
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				runErr = fmt.Errorf("guvm: simulation panicked: %v", r)
 			}
 		}()
-		m.Engine.Run()
+		_, engErr = m.Engine.Run()
 	}()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if engErr != nil {
+		return nil, engErr
+	}
+	for i, dev := range m.Devices {
+		if dev.Running() {
+			return nil, fmt.Errorf("guvm: device %d kernel incomplete at virtual time %d ns with no pending events: %w",
+				i, m.Engine.Now(), ErrStalled)
+		}
 	}
 
 	results := make([]*Result, len(ws))
@@ -146,6 +177,7 @@ func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, erro
 			DeviceStats: m.Devices[i].Stats(),
 			HostStats:   m.HostVM.Stats(),
 			LinkStats:   m.Drivers[i].Link().Stats(),
+			InjectStats: m.Injector.Stats(),
 		}
 	}
 	return results, nil

@@ -6,12 +6,21 @@ import (
 	"guvm/internal/workloads"
 )
 
+func mustMulti(t *testing.T, cfg SystemConfig, n int) *MultiSimulator {
+	t.Helper()
+	m, err := NewMultiSimulator(cfg, n)
+	if err != nil {
+		t.Fatalf("NewMultiSimulator: %v", err)
+	}
+	return m
+}
+
 func TestMultiSimulatorSingleDeviceMatchesSolo(t *testing.T) {
 	cfg := testConfig()
 	mk := func() workloads.Workload { return workloads.NewStream(8<<20, 16) }
 
 	solo := mustRun(t, cfg, mk())
-	multi, err := NewMultiSimulator(cfg, 1).RunConcurrent([]workloads.Workload{mk()})
+	multi, err := mustMulti(t, cfg, 1).RunConcurrent([]workloads.Workload{mk()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +43,7 @@ func TestMultiSimulatorInterference(t *testing.T) {
 	}
 	solo := mustRun(t, cfg, mk())
 
-	m := NewMultiSimulator(cfg, 2)
+	m := mustMulti(t, cfg, 2)
 	results, err := m.RunConcurrent([]workloads.Workload{mk(), mk()})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +66,7 @@ func TestMultiSimulatorInterference(t *testing.T) {
 
 func TestMultiSimulatorIndependentResidency(t *testing.T) {
 	cfg := testConfig()
-	m := NewMultiSimulator(cfg, 2)
+	m := mustMulti(t, cfg, 2)
 	ws := []workloads.Workload{
 		workloads.NewStream(4<<20, 8),
 		workloads.NewRegular(8<<20, 16),
@@ -80,29 +89,26 @@ func TestMultiSimulatorIndependentResidency(t *testing.T) {
 
 func TestMultiSimulatorValidation(t *testing.T) {
 	cfg := testConfig()
-	m := NewMultiSimulator(cfg, 2)
+	m := mustMulti(t, cfg, 2)
 	if _, err := m.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err == nil {
 		t.Fatal("mismatched workload count accepted")
 	}
-	m2 := NewMultiSimulator(cfg, 1)
+	m2 := mustMulti(t, cfg, 1)
 	if _, err := m2.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m2.RunConcurrent([]workloads.Workload{workloads.NewStream(4<<20, 8)}); err == nil {
 		t.Fatal("second RunConcurrent accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for 0 devices")
-		}
-	}()
-	NewMultiSimulator(cfg, 0)
+	if _, err := NewMultiSimulator(cfg, 0); err == nil {
+		t.Fatal("0 devices accepted")
+	}
 }
 
 func TestMultiSimulatorDeterministic(t *testing.T) {
 	cfg := testConfig()
 	runOnce := func() []*Result {
-		m := NewMultiSimulator(cfg, 2)
+		m := mustMulti(t, cfg, 2)
 		rs, err := m.RunConcurrent([]workloads.Workload{
 			workloads.NewStream(4<<20, 8),
 			workloads.NewStream(4<<20, 8),
