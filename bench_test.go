@@ -34,7 +34,10 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
-		a := g.Run()
+		a, err := g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(a.Notes) == 0 {
 			b.Fatal("experiment produced no observations")
 		}

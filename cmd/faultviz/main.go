@@ -21,12 +21,15 @@ import (
 
 func main() {
 	prefetch := flag.Bool("prefetch", false, "run the prefetch-instruction kernel (Figure 5)")
+	auditOn := flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
 	flag.Parse()
 
 	cfg := guvm.DefaultConfig()
 	cfg.Driver.PrefetchEnabled = false // expose raw fault mechanics
 	cfg.Driver.Upgrade64K = false
 	cfg.KeepFaults = true
+	cfg.Audit.Enabled = *auditOn
+	cfg.Audit.Interval = 1
 
 	var w workloads.Workload
 	if *prefetch {

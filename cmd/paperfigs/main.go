@@ -44,10 +44,19 @@ func main() {
 	}
 
 	var summary strings.Builder
+	var failed []string
 	for _, g := range gens {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", g.ID, g.Title)
-		a := g.Run()
+		a, err := g.Run()
+		if err != nil {
+			// One broken experiment must not take down the sweep: record
+			// it, keep going, and exit non-zero at the end.
+			fmt.Fprintf(os.Stderr, "paperfigs: experiment %s failed: %v\n", g.ID, err)
+			fmt.Fprintf(&summary, "## %s — %s\n\n- FAILED: %v\n\n", g.ID, g.Title, err)
+			failed = append(failed, g.ID)
+			continue
+		}
 		dir := filepath.Join(*out, a.ID)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
@@ -95,4 +104,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("== summary notes: %s\n", notesFile)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 }

@@ -72,6 +72,11 @@ func main() {
 		showBatches = flag.Bool("batches", false, "print per-batch records")
 		list        = flag.Bool("list", false, "list workloads and exit")
 
+		// Runtime invariant auditing (internal/audit).
+		auditOn       = flag.Bool("audit", false, "run the invariant auditor alongside the simulation; violations fail the run")
+		auditInterval = flag.Int("audit-interval", 1, "audit every Nth batch (with -audit)")
+		verifyDet     = flag.Bool("verify-determinism", false, "run the workload twice and compare per-batch state digests; exits non-zero on divergence")
+
 		// §6-proposal driver extensions.
 		workers    = flag.Int("workers", 1, "parallel VABlock service workers")
 		lpt        = flag.Bool("lpt", false, "LPT load balancing across workers")
@@ -154,6 +159,29 @@ func main() {
 	cfg.Inject.MigrateMaxRetries = *injMigRetries
 	cfg.Inject.HostAllocFailRate = *injHostRate
 	cfg.Inject.HostAllocMaxRetries = *injHostRetries
+	cfg.Audit.Enabled = *auditOn
+	cfg.Audit.Interval = *auditInterval
+
+	if *verifyDet {
+		if *explicit {
+			fmt.Fprintln(os.Stderr, "uvmsim: -verify-determinism applies to UVM runs, not -explicit")
+			os.Exit(2)
+		}
+		rep, err := guvm.VerifyDeterminism(cfg, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if !rep.Match {
+			fmt.Fprintf(os.Stderr, "uvmsim: determinism check FAILED: first divergent batch %d (%d snapshots compared)\n",
+				rep.FirstDivergentBatch, rep.Compared)
+			fmt.Fprintf(os.Stderr, "--- run A state at divergence ---\n%s\n", rep.A.Dump)
+			fmt.Fprintf(os.Stderr, "--- run B state at divergence ---\n%s\n", rep.B.Dump)
+			os.Exit(1)
+		}
+		fmt.Printf("determinism verified: %d per-batch state digests identical across two runs\n", rep.Compared)
+		return
+	}
 
 	sim, err := guvm.NewSimulator(cfg)
 	if err != nil {
@@ -183,6 +211,10 @@ func main() {
 	fmt.Printf("host OS         %d unmap calls (%d pages), %d DMA pages, %d radix nodes\n",
 		res.HostStats.UnmapCalls, res.HostStats.PagesUnmapped,
 		res.HostStats.DMAPagesMapped, res.HostStats.RadixNodes)
+	if res.Audit != nil {
+		fmt.Printf("audit           %d batches audited, %d checks, %d violations, final digest %016x\n",
+			res.Audit.BatchesAudited, res.Audit.ChecksRun, len(res.Audit.Violations), res.Audit.FinalDigest)
+	}
 
 	if cfg.Inject.Enabled() {
 		is := res.InjectStats

@@ -63,6 +63,7 @@ func main() {
 		caps     = flag.String("caps", "32,64,256", "comma-separated GPU capacities in MiB")
 		prefetch = flag.String("prefetch", "on,off", "prefetch settings to sweep (on,off)")
 		policies = flag.String("evict", "lru", "eviction policies to sweep (lru,fifo,random,lfu)")
+		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
 	)
 	flag.Parse()
 
@@ -103,6 +104,8 @@ func main() {
 					cfg.Driver.PrefetchEnabled = pfOn
 					cfg.Driver.Upgrade64K = pfOn
 					cfg.Driver.Eviction = policy
+					cfg.Audit.Enabled = *auditOn
+					cfg.Audit.Interval = 1
 					s, err := guvm.NewSimulator(cfg)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)

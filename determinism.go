@@ -1,0 +1,46 @@
+package guvm
+
+import (
+	"fmt"
+
+	"guvm/internal/audit"
+	"guvm/internal/workloads"
+)
+
+// VerifyDeterminism runs the same workload twice under the same
+// configuration, snapshotting every model's state digest at every batch
+// boundary, and compares the two snapshot streams. A correct simulator is
+// bit-deterministic, so the report must match; a divergence pinpoints the
+// first batch whose state differed, with full state dumps of both sides
+// for diagnosis.
+//
+// The workload's Phases method must be reusable (every bundled workload
+// builds fresh seeded RNGs per call). The passed configuration's audit
+// settings are overridden: snapshots every batch, dumps retained.
+func VerifyDeterminism(cfg SystemConfig, w workloads.Workload) (*audit.DeterminismReport, error) {
+	cfg.Audit.Interval = 1
+	cfg.Audit.KeepDumps = true
+
+	one := func(label string) (*audit.Report, error) {
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("guvm: determinism %s run: %w", label, err)
+		}
+		res, err := s.Run(w)
+		if err != nil {
+			return nil, fmt.Errorf("guvm: determinism %s run: %w", label, err)
+		}
+		return res.Audit, nil
+	}
+
+	first, err := one("first")
+	if err != nil {
+		return nil, err
+	}
+	second, err := one("second")
+	if err != nil {
+		return nil, err
+	}
+	rep := audit.CompareSnapshots(first.Snapshots, second.Snapshots)
+	return &rep, nil
+}

@@ -1,0 +1,88 @@
+package guvm
+
+import (
+	"testing"
+
+	"guvm/internal/audit"
+	"guvm/internal/workloads"
+)
+
+// fig08Workload is the stream benchmark Figure 8 profiles, scaled to a
+// test-sized footprint.
+func fig08Workload() workloads.Workload { return workloads.NewStream(16<<20, 24) }
+
+// TestVerifyDeterminismMatches runs the Figure-8 stream workload twice
+// under one configuration and requires bit-identical per-batch state
+// digests: the simulator must be deterministic.
+func TestVerifyDeterminismMatches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Driver.GPUMemBytes = 64 << 20
+	rep, err := VerifyDeterminism(cfg, fig08Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Fatalf("runs diverged at batch %d:\nA: %+v\nB: %+v",
+			rep.FirstDivergentBatch, rep.A, rep.B)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("no snapshots compared — the workload produced no batches")
+	}
+	if rep.FirstDivergentBatch != -1 {
+		t.Fatalf("matching report carries divergent batch %d", rep.FirstDivergentBatch)
+	}
+}
+
+// TestVerifyDeterminismUnderEviction repeats the check in the most
+// state-entangled regime: oversubscribed, with eviction and prefetching
+// both active.
+func TestVerifyDeterminismUnderEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Driver.GPUMemBytes = 12 << 20 // 3x16 MB stream -> 400% oversubscribed
+	rep, err := VerifyDeterminism(cfg, fig08Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Fatalf("oversubscribed runs diverged at batch %d", rep.FirstDivergentBatch)
+	}
+}
+
+// auditedSnapshots runs one workload with per-batch snapshots on and
+// returns the digest stream.
+func auditedSnapshots(t *testing.T, cfg SystemConfig) []audit.Snapshot {
+	t.Helper()
+	cfg.Audit.Interval = 1
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(fig08Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Audit.Snapshots
+}
+
+// TestCompareSnapshotsDetectsPerturbation is the negative control for the
+// determinism verifier: two runs that genuinely differ (the second's
+// fault batch size is halved, changing batching from the first batch on)
+// must be reported as divergent, with the first differing batch index.
+func TestCompareSnapshotsDetectsPerturbation(t *testing.T) {
+	base := DefaultConfig()
+	base.Driver.GPUMemBytes = 64 << 20
+
+	perturbed := base
+	perturbed.Driver.BatchSize = base.Driver.BatchSize / 2
+
+	a := auditedSnapshots(t, base)
+	b := auditedSnapshots(t, perturbed)
+
+	rep := audit.CompareSnapshots(a, b)
+	if rep.Match {
+		t.Fatal("perturbed run (half batch size) reported as identical")
+	}
+	if rep.FirstDivergentBatch < 0 {
+		t.Fatalf("divergent report has no divergent batch: %+v", rep)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"guvm/internal/audit"
 	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
 	"guvm/internal/hostos"
@@ -60,6 +61,9 @@ type SystemConfig struct {
 	KeepFaults bool
 	// KeepSpans retains per-batch serviced page spans.
 	KeepSpans bool
+	// Audit configures the runtime invariant auditor. The zero value
+	// attaches no auditor and leaves the run unobserved.
+	Audit audit.Config
 }
 
 // DefaultConfig returns the experiment-scale profile: a Titan-V-like GPU
@@ -111,6 +115,9 @@ type Result struct {
 	// InjectStats holds the per-category injected/retried/recovered/
 	// unrecovered counters (all zero when injection is disabled).
 	InjectStats faultinject.Stats
+	// Audit is the invariant auditor's report (nil unless
+	// SystemConfig.Audit is active).
+	Audit *audit.Report
 }
 
 // BatchTime sums all batch durations.
@@ -140,6 +147,7 @@ type Simulator struct {
 	Driver   *uvm.Driver
 	HostVM   *hostos.VM
 	Injector *faultinject.Injector
+	Auditor  *audit.Auditor
 
 	used bool
 }
@@ -169,14 +177,19 @@ func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 	}
 	drv.SetInjector(inj)
 	dev.SetInjector(inj)
-	return &Simulator{
+	s := &Simulator{
 		Config:   cfg,
 		Engine:   eng,
 		Device:   dev,
 		Driver:   drv,
 		HostVM:   vm,
 		Injector: inj,
-	}, nil
+	}
+	if cfg.Audit.Active() {
+		s.Auditor = audit.New(cfg.Audit, audit.Options{}, eng, drv, dev, vm, inj)
+		s.Auditor.Attach()
+	}
+	return s, nil
 }
 
 // Run executes the workload under UVM demand paging and returns its
@@ -277,22 +290,27 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 		}()
 		_, engErr = s.Engine.Run()
 	}()
-	if runErr != nil {
-		return nil, runErr
+	failure := runErr
+	if failure == nil {
+		failure = engErr
 	}
-	if engErr != nil {
-		return nil, engErr
-	}
-	if s.Device.Running() {
+	if failure == nil && s.Device.Running() {
 		// The event queue drained with the kernel incomplete: a fault
 		// was lost for good (injected drops past their retry budget with
 		// no later replay). Surface a typed diagnostic, not a hang.
-		return nil, fmt.Errorf("guvm: kernel incomplete at virtual time %d ns with no pending events: %w",
+		failure = fmt.Errorf("guvm: kernel incomplete at virtual time %d ns with no pending events: %w",
 			s.Engine.Now(), ErrStalled)
+	}
+	var auditRep *audit.Report
+	if s.Auditor != nil {
+		auditRep = s.Auditor.Finish(failure)
+	}
+	if failure != nil {
+		return nil, failure
 	}
 
 	col := s.Driver.Collector
-	return &Result{
+	res := &Result{
 		Workload:    w.Name(),
 		KernelTime:  kernelTime,
 		TotalTime:   s.Engine.Now(),
@@ -305,5 +323,13 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 		HostStats:   s.HostVM.Stats(),
 		LinkStats:   s.Driver.Link().Stats(),
 		InjectStats: s.Injector.Stats(),
-	}, nil
+		Audit:       auditRep,
+	}
+	if err := auditRep.Err(); err != nil {
+		// End-of-run checks failed on an otherwise clean run: hand back
+		// the telemetry (the report pinpoints the violation) plus the
+		// typed error.
+		return res, fmt.Errorf("guvm: run completed but failed its audit: %w", err)
+	}
+	return res, nil
 }

@@ -1,0 +1,86 @@
+// Package digest provides the canonical FNV-1a state hashing the audit
+// subsystem builds on. Every model (driver, GPU, host OS, link) folds its
+// canonical state into a Hash; two runs of the same configuration must
+// produce identical digests batch-by-batch, which is what the determinism
+// verifier checks. FNV-1a is used because the digests are cheap integrity
+// fingerprints, not cryptographic commitments.
+package digest
+
+import "math"
+
+// FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash is an FNV-1a 64-bit accumulator. The zero value is NOT a valid
+// start state; begin with New.
+type Hash uint64
+
+// New returns the FNV-1a offset basis.
+func New() Hash { return offset64 }
+
+// Byte folds one byte into the hash.
+func (h Hash) Byte(b byte) Hash { return (h ^ Hash(b)) * prime64 }
+
+// Uint64 folds v little-endian byte by byte.
+func (h Hash) Uint64(v uint64) Hash {
+	for i := 0; i < 8; i++ {
+		h = h.Byte(byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+// Int folds a signed integer.
+func (h Hash) Int(v int) Hash { return h.Uint64(uint64(int64(v))) }
+
+// Int64 folds a signed 64-bit integer (e.g. virtual timestamps).
+func (h Hash) Int64(v int64) Hash { return h.Uint64(uint64(v)) }
+
+// Bool folds a boolean as one byte.
+func (h Hash) Bool(v bool) Hash {
+	if v {
+		return h.Byte(1)
+	}
+	return h.Byte(0)
+}
+
+// Float64 folds a float's raw IEEE-754 bits, which is exact and
+// deterministic across runs.
+func (h Hash) Float64(v float64) Hash {
+	return h.Uint64(math.Float64bits(v))
+}
+
+// Words folds a slice of machine words (e.g. a PageSet's backing array).
+func (h Hash) Words(ws []uint64) Hash {
+	h = h.Int(len(ws))
+	for _, w := range ws {
+		h = h.Uint64(w)
+	}
+	return h
+}
+
+// String folds a length-prefixed string.
+func (h Hash) String(s string) Hash {
+	h = h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h = h.Byte(s[i])
+	}
+	return h
+}
+
+// Sum returns the accumulated digest.
+func (h Hash) Sum() uint64 { return uint64(h) }
+
+// Combine folds several already-computed digests into one summary value,
+// order-sensitively. Used to collapse per-component digests into the
+// combined per-snapshot digest.
+func Combine(parts ...uint64) uint64 {
+	h := New()
+	for _, p := range parts {
+		h = h.Uint64(p)
+	}
+	return h.Sum()
+}

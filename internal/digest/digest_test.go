@@ -1,0 +1,57 @@
+package digest
+
+import "testing"
+
+// TestKnownVector pins FNV-1a against the classic reference values so the
+// constants can never silently drift.
+func TestKnownVector(t *testing.T) {
+	// FNV-1a("a") = 0xaf63dc4c8601ec8c
+	if got := New().Byte('a').Sum(); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("fnv1a(a) = %#x", got)
+	}
+	// FNV-1a("") is the offset basis.
+	if got := New().Sum(); got != 14695981039346656037 {
+		t.Fatalf("fnv1a() = %#x", got)
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	a := New().Uint64(1).Uint64(2).Sum()
+	b := New().Uint64(2).Uint64(1).Sum()
+	if a == b {
+		t.Fatal("digest is order-insensitive")
+	}
+}
+
+func TestLengthPrefixDisambiguates(t *testing.T) {
+	// Words([1]) ++ Words([]) must differ from Words([]) ++ Words([1]).
+	a := New().Words([]uint64{1}).Words(nil).Sum()
+	b := New().Words(nil).Words([]uint64{1}).Sum()
+	if a == b {
+		t.Fatal("length prefix does not disambiguate concatenation")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Fatal("Combine is order-insensitive")
+	}
+	if Combine() != New().Sum() {
+		t.Fatal("empty Combine should be the offset basis")
+	}
+}
+
+func TestScalarEncodings(t *testing.T) {
+	if New().Bool(true).Sum() == New().Bool(false).Sum() {
+		t.Fatal("bool encoding collapses")
+	}
+	if New().Int(-1).Sum() == New().Int(1).Sum() {
+		t.Fatal("int encoding collapses sign")
+	}
+	if New().Float64(1.5).Sum() == New().Float64(2.5).Sum() {
+		t.Fatal("float encoding collapses")
+	}
+	if New().String("ab").Sum() == New().String("ba").Sum() {
+		t.Fatal("string encoding is order-insensitive")
+	}
+}

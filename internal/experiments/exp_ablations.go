@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"guvm"
 	"guvm/internal/report"
 	"guvm/internal/uvm"
@@ -17,7 +19,7 @@ import (
 // would create a very imbalanced workload." Expectation: scattered
 // workloads (random) scale; concentrated ones (gauss-seidel) barely move;
 // LPT load balancing recovers a little.
-func AblParallel() *Artifact {
+func AblParallel() (*Artifact, error) {
 	a := &Artifact{ID: "abl-parallel", Title: "Parallel VABlock servicing (§6 proposal)"}
 	t := &report.Table{
 		Title:   "Batch time (ms) by driver worker count",
@@ -43,7 +45,10 @@ func AblParallel() *Artifact {
 			cfg.Driver.GPUMemBytes = 512 << 20
 			cfg.Driver.ServiceWorkers = v.workers
 			cfg.Driver.LoadBalanceLPT = v.lpt
-			res := run(cfg, c.mk())
+			res, err := run(cfg, c.mk())
+			if err != nil {
+				return nil, err
+			}
 			batchMs = append(batchMs, ms(res.BatchTime()))
 		}
 		sp := batchMs[0] / batchMs[2]
@@ -53,13 +58,13 @@ func AblParallel() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("paper: per-VABlock parallelism is limited by workload imbalance; measured 4-worker batch-time speedup %.2fx for scattered random vs %.2fx for concentrated gauss-seidel",
 		speedups["random"], speedups["gauss-seidel"])
-	return a
+	return a, nil
 }
 
 // AblAdaptiveBatch evaluates duplicate-adaptive batch sizing. Paper §6:
 // "A simple improvement could be to tune batch size based on the number
 // of duplicate faults received."
-func AblAdaptiveBatch() *Artifact {
+func AblAdaptiveBatch() (*Artifact, error) {
 	a := &Artifact{ID: "abl-adaptive", Title: "Duplicate-adaptive batch sizing (§6 proposal)"}
 	t := &report.Table{
 		Title:   "Fixed vs adaptive batch size (dup-heavy sgemm)",
@@ -76,11 +81,11 @@ func AblAdaptiveBatch() *Artifact {
 		cfg.Driver.AdaptiveBatch = adaptive
 		s, err := guvm.NewSimulator(cfg)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: abl-adaptive: %w", err)
 		}
 		res, err := s.Run(mk())
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: abl-adaptive: %w", err)
 		}
 		dups := 0
 		for _, b := range res.Batches {
@@ -96,14 +101,14 @@ func AblAdaptiveBatch() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("adaptive batch sizing vs fixed large cap on a duplicate-heavy workload: %.1fms vs %.1fms kernel (%.0f%% change)",
 		kernels[1], kernels[0], 100*(kernels[0]-kernels[1])/kernels[0])
-	return a
+	return a, nil
 }
 
 // AblAsyncUnmap evaluates preemptive unmapping. Paper §6: "performing
 // these operations asynchronously and preemptively may be preferable when
 // an application shifts to GPU compute." Expectation: the Figure-11
 // multithreaded HPGMG penalty largely disappears.
-func AblAsyncUnmap() *Artifact {
+func AblAsyncUnmap() (*Artifact, error) {
 	a := &Artifact{ID: "abl-asyncunmap", Title: "Preemptive CPU unmapping (§6 proposal)"}
 	t := &report.Table{
 		Title:   "HPGMG, 32 host threads: fault-path vs preemptive unmapping",
@@ -120,7 +125,10 @@ func AblAsyncUnmap() *Artifact {
 	for _, async := range []bool{false, true} {
 		cfg := baseConfig()
 		cfg.Driver.AsyncUnmap = async
-		res := run(cfg, mk())
+		res, err := run(cfg, mk())
+		if err != nil {
+			return nil, err
+		}
 		var unmap float64
 		for _, b := range res.Batches {
 			unmap += us(b.TUnmap)
@@ -135,7 +143,7 @@ func AblAsyncUnmap() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("moving unmap_mapping_range off the fault path cuts multithreaded HPGMG kernel time %.1fms -> %.1fms (%.2fx)",
 		kernels[0], kernels[1], kernels[0]/kernels[1])
-	return a
+	return a, nil
 }
 
 // AblCrossBlockPrefetch evaluates prefetch scope beyond one VABlock.
@@ -143,7 +151,7 @@ func AblAsyncUnmap() *Artifact {
 // ... could mitigate these issues but may also complicate eviction."
 // Expectation: sequential streams gain (first-touch batches are
 // pre-paid); oversubscribed irregular workloads lose (eviction interplay).
-func AblCrossBlockPrefetch() *Artifact {
+func AblCrossBlockPrefetch() (*Artifact, error) {
 	a := &Artifact{ID: "abl-xblock", Title: "Cross-VABlock prefetch scope (§6 proposal)"}
 	t := &report.Table{
 		Title:   "Prefetch scope: within-block (shipped) vs +2 blocks ahead",
@@ -169,7 +177,10 @@ func AblCrossBlockPrefetch() *Artifact {
 			cfg := baseConfig()
 			cfg.Driver.GPUMemBytes = sc.capMB << 20
 			cfg.Driver.CrossBlockPrefetch = scope
-			res := run(cfg, sc.mk())
+			res, err := run(cfg, sc.mk())
+			if err != nil {
+				return nil, err
+			}
 			label := "within-block"
 			if scope > 0 {
 				label = "+2 blocks"
@@ -182,13 +193,13 @@ func AblCrossBlockPrefetch() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("cross-block prefetch: sequential stream %.2fx, oversubscribed random %.2fx (values <1 mean it hurts — the predicted eviction interplay)",
 		gains["stream in-core"], gains["random oversubscribed"])
-	return a
+	return a, nil
 }
 
 // AblEvictionPolicy compares replacement policies. Paper §5.4: "This LRU
 // policy may not be optimal, as some evicted pages are needed shortly and
 // must again be migrated back."
-func AblEvictionPolicy() *Artifact {
+func AblEvictionPolicy() (*Artifact, error) {
 	a := &Artifact{ID: "abl-eviction", Title: "VABlock eviction policy"}
 	t := &report.Table{
 		Title:   "Eviction policy under cyclic reuse (gauss-seidel, ~116% oversub)",
@@ -198,7 +209,10 @@ func AblEvictionPolicy() *Artifact {
 		cfg := baseConfig()
 		cfg.Driver.GPUMemBytes = 32 << 20
 		cfg.Driver.Eviction = pol
-		res := run(cfg, workloads.NewGaussSeidel(3072, 3))
+		res, err := run(cfg, workloads.NewGaussSeidel(3072, 3))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(pol.String(), ms(res.KernelTime), res.DriverStats.Evictions,
 			float64(res.LinkStats.BytesToHost)/(1<<20))
 	}
@@ -206,5 +220,5 @@ func AblEvictionPolicy() *Artifact {
 	a.Notes = append(a.Notes,
 		"paper: LRU degrades to earliest-allocated under dense access and re-evicts soon-needed data; sequential sweeps make LRU pathological (evicts exactly what the next sweep needs first), which random placement partially avoids",
 		"lfu uses the GPU access counters (the page-hit information §5.4 notes the shipped driver lacks)")
-	return a
+	return a, nil
 }

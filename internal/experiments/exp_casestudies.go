@@ -11,12 +11,15 @@ import (
 // oversubscription) and renders its three panels: batch profile with
 // prefetching, batch profile with evictions, and the fine-grain fault
 // behaviour (page ranges allocated and evicted per batch).
-func caseStudy(id, title string, capacity uint64, w workloads.Workload, paperLRUNote string) *Artifact {
+func caseStudy(id, title string, capacity uint64, w workloads.Workload, paperLRUNote string) (*Artifact, error) {
 	a := &Artifact{ID: id, Title: title}
 	cfg := baseConfig()
 	cfg.Driver.GPUMemBytes = capacity
 	cfg.KeepSpans = true
-	res := run(cfg, w)
+	res, err := run(cfg, w)
+	if err != nil {
+		return nil, err
+	}
 
 	// Panels (a)+(b): batch profile with prefetch and eviction counts.
 	profile := &report.Series{
@@ -47,7 +50,7 @@ func caseStudy(id, title string, capacity uint64, w workloads.Workload, paperLRU
 	a.Series = append(a.Series, behaviour)
 
 	addCaseStudyNotes(a, res, paperLRUNote)
-	return a
+	return a, nil
 }
 
 // addCaseStudyNotes verifies the §5.4 claims on a case-study result.
@@ -120,7 +123,7 @@ func medianInt(xs []int) int {
 
 // Fig16 reproduces Figure 16: Gauss-Seidel at ~16% oversubscription with
 // prefetching.
-func Fig16() *Artifact {
+func Fig16() (*Artifact, error) {
 	// Grid 3072^2 x 4B = 36 MB on a 32 MB GPU: ~116% (paper: ~16%).
 	return caseStudy("fig16", "Gauss-Seidel case study (~16% oversubscription)",
 		32<<20, workloads.NewGaussSeidel(3072, 3),
@@ -129,7 +132,7 @@ func Fig16() *Artifact {
 
 // Fig17 reproduces Figure 17: HPGMG at ~25% oversubscription with
 // prefetching.
-func Fig17() *Artifact {
+func Fig17() (*Artifact, error) {
 	// Levels sum ~50 MB on a 40 MB GPU: ~125% (paper: ~25%).
 	return caseStudy("fig17", "HPGMG case study (~25% oversubscription)",
 		40<<20, workloads.NewHPGMG(40<<20, 1),

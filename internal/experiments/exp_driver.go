@@ -12,7 +12,7 @@ import (
 // amount of data migrated, one per application. Claim: average batch cost
 // rises linearly with data moved, with application-dependent intercepts
 // and high per-application variance.
-func Fig06() *Artifact {
+func Fig06() (*Artifact, error) {
 	a := &Artifact{ID: "fig06", Title: "Batch time vs data migrated: linear fits"}
 	t := &report.Table{
 		Title:   "Figure 6: least-squares fit of batch time (us) vs data migrated (KB)",
@@ -22,7 +22,10 @@ func Fig06() *Artifact {
 		Title:   "fig06",
 		Columns: []string{"bench_idx", "migrated_KB", "batch_us"},
 	}
-	runs := tableRuns()
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
 	order := []string{"regular", "sgemm", "stream", "cufft", "gauss-seidel", "hpgmg"}
 	positive := 0
 	fitted := 0
@@ -58,15 +61,19 @@ func Fig06() *Artifact {
 	a.Notef("paper: batch cost rises linearly with migrated data for all applications; measured positive slope in %d/%d fittable benchmarks", positive, fitted)
 	a.Notes = append(a.Notes,
 		"note: the strided FFT anticorrelates migration size with VABlock count (small scattered batches are the expensive ones), confounding its univariate fit — Figure 10's joint fit separates the terms")
-	return a
+	return a, nil
 }
 
 // Fig07 reproduces Figure 7: the share of each sgemm batch spent in data
 // transfer. Claim: at most ~25%% of batch time is the transfer itself —
 // management, not movement, dominates.
-func Fig07() *Artifact {
+func Fig07() (*Artifact, error) {
 	a := &Artifact{ID: "fig07", Title: "Transfer share of batch time (sgemm)"}
-	res := tableRuns()["sgemm"]
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
+	res := runs["sgemm"]
 
 	s := &report.Series{
 		Title:   "fig07",
@@ -92,16 +99,19 @@ func Fig07() *Artifact {
 
 	a.Notef("paper: transfer is at most ~25%% of batch time and typically far lower; measured mean %.0f%%, max %.0f%%",
 		sum.Mean*100, sum.Max*100)
-	return a
+	return a, nil
 }
 
 // Fig08 reproduces Figure 8: batch sizes over an application's lifetime,
 // raw vs with duplicate faults removed, for stream and sgemm. Claims: the
 // workload is application-driven (sgemm shows phases, stream is uniform),
 // and dedup substantially shrinks batches for both.
-func Fig08() *Artifact {
+func Fig08() (*Artifact, error) {
 	a := &Artifact{ID: "fig08", Title: "Batch size time series, raw vs deduplicated"}
-	runs := tableRuns()
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range []string{"stream", "sgemm"} {
 		res := runs[name]
 		s := &report.Series{
@@ -120,7 +130,7 @@ func Fig08() *Artifact {
 	}
 	a.Notes = append(a.Notes,
 		"paper: filtering duplicates greatly alters average batch size for both applications, non-uniformly across and within applications")
-	return a
+	return a, nil
 }
 
 // Fig09 reproduces Figure 9: sgemm performance across fault batch size
@@ -128,7 +138,7 @@ func Fig08() *Artifact {
 // more duplicates, with diminishing returns — beyond ~1024 the unique
 // faults available per batch (bounded by flush + fault-generation limits)
 // stop growing.
-func Fig09() *Artifact {
+func Fig09() (*Artifact, error) {
 	a := &Artifact{ID: "fig09", Title: "Performance vs fault batch size (sgemm)"}
 	t := &report.Table{
 		Title:   "Figure 9: batch size sweep",
@@ -147,7 +157,10 @@ func Fig09() *Artifact {
 		w.Tile = 1024
 		w.ChunkPages = 32
 		w.ComputePerChunk = 10 * sim.Microsecond
-		res := run(cfg, w)
+		res, err := run(cfg, w)
+		if err != nil {
+			return nil, err
+		}
 		var uniq, dups float64
 		for _, b := range res.Batches {
 			uniq += float64(b.UniquePages)
@@ -165,20 +178,23 @@ func Fig09() *Artifact {
 		kernels[128], kernels[1024], kernels[6144])
 	a.Notef("paper: diminishing returns past ~1024 as unique faults/batch saturate (~500); measured avg unique %.0f @1024 vs %.0f @6144",
 		uniques[1024], uniques[6144])
-	return a
+	return a, nil
 }
 
 // Fig10 reproduces Figure 10: batch time against migration size, grouped
 // by the number of VABlocks in the batch. Claim: for similar migration
 // sizes, batches spanning more VABlocks cost more (each block is a
 // separate processing step).
-func Fig10() *Artifact {
+func Fig10() (*Artifact, error) {
 	a := &Artifact{ID: "fig10", Title: "Batch time vs migration size by VABlock count"}
 	s := &report.Series{
 		Title:   "fig10",
 		Columns: []string{"bench_idx", "migrated_KB", "batch_us", "vablocks"},
 	}
-	runs := tableRuns()
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
 	order := []string{"regular", "sgemm", "cufft", "gauss-seidel"}
 	for bi, name := range order {
 		for _, b := range runs[name].Batches {
@@ -213,7 +229,7 @@ func Fig10() *Artifact {
 	t.AddRow("batches", len(times))
 	a.Tables = append(a.Tables, t)
 	a.Notef("paper: for the same migration size, more VABlocks incur higher cost; measured marginal cost %.1fus per additional VABlock (per-KB term %.2fus)", fit.B2, fit.B1)
-	return a
+	return a, nil
 }
 
 // avgBatchDuration helps several figures.

@@ -11,11 +11,14 @@ import (
 // retention and classifies each fetched fault by source vector. The
 // prefetcher is off so the raw fault mechanics are visible, as in the
 // paper's per-fault-instrumented driver runs.
-func vecAddFaultRun() (*guvm.Result, func(p mem.PageID) string) {
+func vecAddFaultRun() (*guvm.Result, func(p mem.PageID) string, error) {
 	cfg := noPrefetch(baseConfig())
 	cfg.KeepFaults = true
 	w := workloads.NewVecAddPaper()
-	res := run(cfg, w)
+	res, err := run(cfg, w)
+	if err != nil {
+		return nil, nil, err
+	}
 	classify := func(p mem.PageID) string {
 		switch {
 		case p >= mem.PageOf(res.Bases[2]):
@@ -26,7 +29,7 @@ func vecAddFaultRun() (*guvm.Result, func(p mem.PageID) string) {
 			return "a"
 		}
 	}
-	return res, classify
+	return res, classify, nil
 }
 
 // Fig03 reproduces Figure 3: the Listing-1 vector addition's faults in
@@ -34,9 +37,12 @@ func vecAddFaultRun() (*guvm.Result, func(p mem.PageID) string) {
 // exactly 56 faults (the µTLB outstanding limit — all A reads and most B
 // reads), and writes never fault before all 64 prerequisite reads of the
 // iteration are fulfilled.
-func Fig03() *Artifact {
+func Fig03() (*Artifact, error) {
 	a := &Artifact{ID: "fig03", Title: "Listing-1 faults as a relative series by batch"}
-	res, classify := vecAddFaultRun()
+	res, classify, err := vecAddFaultRun()
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{
 		Title:   "fig03",
@@ -104,15 +110,18 @@ func Fig03() *Artifact {
 		}
 	}
 	a.Notef("paper: no write faults until all 64 prerequisite reads fulfilled; violations measured: %v", violation)
-	return a
+	return a, nil
 }
 
 // Fig04 reproduces Figure 4: the same faults with real (virtual-clock)
 // arrival timestamps. Faults from one warp arrive in rapid succession;
 // tight vertical clusters are batches; batch servicing gaps dominate.
-func Fig04() *Artifact {
+func Fig04() (*Artifact, error) {
 	a := &Artifact{ID: "fig04", Title: "Listing-1 faults with arrival timestamps"}
-	res, classify := vecAddFaultRun()
+	res, classify, err := vecAddFaultRun()
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{
 		Title:   "fig04",
@@ -157,18 +166,21 @@ func Fig04() *Artifact {
 		}
 	}
 	a.Notef("paper: faults of a batch arrive tightly clustered, with servicing gaps between batches; measured max within-batch spread %.1fus vs min between-batch gap %.1fus", maxSpread, minGap)
-	return a
+	return a, nil
 }
 
 // Fig05 reproduces Figure 5: instruction-level prefetching escapes both
 // the µTLB outstanding-fault limit and the SM rate throttle, so a single
 // warp generates faults up to the 256-fault software batch limit; faults
 // beyond the limit are dropped at the flush and re-fault.
-func Fig05() *Artifact {
+func Fig05() (*Artifact, error) {
 	a := &Artifact{ID: "fig05", Title: "Prefetch-instruction fault batches"}
 	cfg := baseConfig()
 	cfg.KeepFaults = true
-	res := run(cfg, workloads.NewVecAddPrefetch())
+	res, err := run(cfg, workloads.NewVecAddPrefetch())
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{Title: "fig05", Columns: []string{"fault_idx", "batch_id", "page"}}
 	perBatch := map[int]int{}
@@ -190,5 +202,5 @@ func Fig05() *Artifact {
 
 	a.Notef("paper: a single warp fills the 256-fault batch size limit via prefetch; measured max batch %d", maxFaults)
 	a.Notef("paper: faults beyond the limit are dropped and re-fault; measured %d re-faults", res.DeviceStats.Refaults)
-	return a
+	return a, nil
 }

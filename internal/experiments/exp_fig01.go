@@ -29,7 +29,7 @@ func countAccesses(w workloads.Workload) int {
 // management, UVM demand paging in-core, and UVM with oversubscription.
 // The paper's claim: the abstracted unified space costs one or more
 // orders of magnitude per access, and out-of-core costs far more still.
-func Fig01() *Artifact {
+func Fig01() (*Artifact, error) {
 	a := &Artifact{ID: "fig01", Title: "Access latency by management strategy"}
 
 	cfg := baseConfig() // 256 MB capacity
@@ -50,10 +50,22 @@ func Fig01() *Artifact {
 		return s
 	}
 
-	expRes := runExplicit(cfg, mkInCore())
-	pfRes := run(cfg, mkInCore())
-	demandRes := run(noPrefetch(cfg), mkInCore())
-	overRes := run(noPrefetch(cfg), mkOver())
+	expRes, err := runExplicit(cfg, mkInCore())
+	if err != nil {
+		return nil, err
+	}
+	pfRes, err := run(cfg, mkInCore())
+	if err != nil {
+		return nil, err
+	}
+	demandRes, err := run(noPrefetch(cfg), mkInCore())
+	if err != nil {
+		return nil, err
+	}
+	overRes, err := run(noPrefetch(cfg), mkOver())
+	if err != nil {
+		return nil, err
+	}
 
 	accInCore := float64(countAccesses(mkInCore()))
 	accOver := float64(countAccesses(mkOver()))
@@ -84,5 +96,5 @@ func Fig01() *Artifact {
 
 	a.Notef("paper: the unified space raises access latency by >=1 order of magnitude over explicit; measured demand paging %.1fx, prefetching %.1fx", lDemand/lExp, lPF/lExp)
 	a.Notef("paper: out-of-core is far costlier still; measured oversubscribed demand paging %.1fx explicit", lOver/lExp)
-	return a
+	return a, nil
 }

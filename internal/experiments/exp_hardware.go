@@ -14,7 +14,7 @@ import (
 // faults available per batch is limited by ... the limitations on total
 // fault generation", and behind related work (Kim et al.) that enlarges
 // fault capacity in simulation.
-func AblHardware() *Artifact {
+func AblHardware() (*Artifact, error) {
 	a := &Artifact{ID: "abl-hardware", Title: "GPU fault-generation constraint sensitivity"}
 
 	mk := func() workloads.Workload { return workloads.NewRegular(64<<20, 160) }
@@ -29,7 +29,10 @@ func AblHardware() *Artifact {
 		cfg := noPrefetch(baseConfig())
 		cfg.GPU.MaxFaultsPerUTLB = limit
 		cfg.Driver.BatchSize = 1024
-		res := run(cfg, mk())
+		res, err := run(cfg, mk())
+		if err != nil {
+			return nil, err
+		}
 		var uniq float64
 		for _, b := range res.Batches {
 			uniq += float64(b.UniquePages)
@@ -51,7 +54,10 @@ func AblHardware() *Artifact {
 	for _, gap := range []sim.Time{125, 500, 2000, 8000} {
 		cfg := noPrefetch(baseConfig())
 		cfg.GPU.FaultThrottleGap = gap * sim.Nanosecond
-		res := run(cfg, workloads.NewVecAddPaper())
+		res, err := run(cfg, workloads.NewVecAddPaper())
+		if err != nil {
+			return nil, err
+		}
 		t2.AddRow(int64(gap), us(res.KernelTime), len(res.Batches))
 		kernels = append(kernels, us(res.KernelTime))
 	}
@@ -61,5 +67,5 @@ func AblHardware() *Artifact {
 		uniqueAt[14], uniqueAt[56])
 	a.Notef("the SM throttle governs single-warp fault issue: 125ns -> 8us gap slows the Listing-1 kernel %.0fus -> %.0fus",
 		kernels[0], kernels[3])
-	return a
+	return a, nil
 }

@@ -11,7 +11,7 @@ import (
 // single-threaded configuration runs roughly twice as fast, and the gap is
 // attributable to unmap_mapping_range on the fault path — multithreaded
 // host touching makes CPU page unmapping far more expensive.
-func Fig11() *Artifact {
+func Fig11() (*Artifact, error) {
 	a := &Artifact{ID: "fig11", Title: "HPGMG host threading vs unmap cost"}
 	cfg := baseConfig()
 
@@ -24,8 +24,14 @@ func Fig11() *Artifact {
 		w.HostTouchFraction = 1.0
 		return w
 	}
-	single := run(cfg, mk(1))
-	multi := run(cfg, mk(32))
+	single, err := run(cfg, mk(1))
+	if err != nil {
+		return nil, err
+	}
+	multi, err := run(cfg, mk(32))
+	if err != nil {
+		return nil, err
+	}
 
 	t := &report.Table{
 		Title:   "Figure 11: HPGMG, 1 host thread vs 32",
@@ -53,5 +59,5 @@ func Fig11() *Artifact {
 
 	a.Notef("paper: single-threaded host config shows roughly twice the performance; measured multi/single kernel ratio %.2fx", kMulti/kSingle)
 	a.Notef("paper: multithreading exaggerates per-batch unmap share; measured unmap time %.1fms (1t) vs %.1fms (32t)", uSingle, uMulti)
-	return a
+	return a, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"guvm"
 	"guvm/internal/report"
 	"guvm/internal/workloads"
@@ -12,7 +14,7 @@ import (
 // same systems"; §6: the driver is a serial bottleneck). Each GPU runs an
 // identical fault-bound stream; the host's single fault-servicing slot
 // serializes their batches, inflating every device's kernel time.
-func ExtMultiGPU() *Artifact {
+func ExtMultiGPU() (*Artifact, error) {
 	a := &Artifact{ID: "ext-multigpu", Title: "Multi-GPU interference through the shared driver"}
 	t := &report.Table{
 		Title:   "Per-device kernel time vs device count (identical streams)",
@@ -29,7 +31,7 @@ func ExtMultiGPU() *Artifact {
 		cfg := baseConfig()
 		m, err := guvm.NewMultiSimulator(cfg, n)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: ext-multigpu %d devices: %w", n, err)
 		}
 		ws := make([]workloads.Workload, n)
 		for i := range ws {
@@ -37,7 +39,7 @@ func ExtMultiGPU() *Artifact {
 		}
 		results, err := m.RunConcurrent(ws)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: ext-multigpu %d devices: %w", n, err)
 		}
 		var kernel float64
 		for _, r := range results {
@@ -60,5 +62,5 @@ func ExtMultiGPU() *Artifact {
 		slowdowns[2], slowdowns[4])
 	a.Notes = append(a.Notes,
 		"paper §6: \"any vendor implementing HMM for parallel devices will encounter similar concerns and delays\" — with several devices the concern compounds, motivating driver parallelism (see abl-parallel)")
-	return a
+	return a, nil
 }

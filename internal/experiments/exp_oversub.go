@@ -11,11 +11,14 @@ import (
 // eviction (memory not yet full); once memory fills, batches carrying
 // evictions pay markedly more (failed allocation + writeback + restart +
 // population).
-func Fig12() *Artifact {
+func Fig12() (*Artifact, error) {
 	a := &Artifact{ID: "fig12", Title: "sgemm under oversubscription and eviction"}
 	cfg := noPrefetch(baseConfig())
 	cfg.Driver.GPUMemBytes = 24 << 20 // sgemm 2048: 48 MB working set -> 200%
-	res := run(cfg, workloads.NewSGEMM(2048))
+	res, err := run(cfg, workloads.NewSGEMM(2048))
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{
 		Title:   "fig12",
@@ -48,7 +51,7 @@ func Fig12() *Artifact {
 	a.Notef("paper: many batches execute before memory fills; measured first eviction at batch %d of %d", firstEvict, len(res.Batches))
 	a.Notef("paper: eviction batches carry greater overhead; measured mean %.0fus evicting vs %.0fus without (%.1fx)",
 		se.Mean, sn.Mean, se.Mean/sn.Mean)
-	return a
+	return a, nil
 }
 
 // Fig13 reproduces Figure 13: stream under oversubscription shows multiple
@@ -56,13 +59,16 @@ func Fig12() *Artifact {
 // unmap_mapping_range (block still CPU-mapped on first GPU touch) plus the
 // eviction; the lower level re-fetches previously evicted blocks, which
 // are NOT remapped to the CPU, so the unmap cost vanishes.
-func Fig13() *Artifact {
+func Fig13() (*Artifact, error) {
 	a := &Artifact{ID: "fig13", Title: "stream oversubscription: eviction cost levels"}
 	cfg := noPrefetch(baseConfig())
 	cfg.Driver.GPUMemBytes = 40 << 20 // 3 x 16 MB arrays = 48 MB -> 120%
 	w := workloads.NewStream(16<<20, 160)
 	w.Iterations = 2 // second pass re-faults evicted blocks sans unmap
-	res := run(cfg, w)
+	res, err := run(cfg, w)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{
 		Title:   "fig13",
@@ -102,5 +108,5 @@ func Fig13() *Artifact {
 	}
 	a.Tables = append(a.Tables, t)
 	a.Notef("paper: same-eviction-count batches form levels; the lower level has near-zero unmap cost; measured %d eviction counts exhibiting both levels with the unmap level costlier", levels)
-	return a
+	return a, nil
 }

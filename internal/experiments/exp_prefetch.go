@@ -11,10 +11,17 @@ import (
 // inflate with prefetched regions, and the high-cost outliers are batches
 // paying compulsory first-touch DMA-mapping setup — up to ~64% of batch
 // time, driven by radix-tree work — which prefetching cannot eliminate.
-func Fig14() *Artifact {
+func Fig14() (*Artifact, error) {
 	a := &Artifact{ID: "fig14", Title: "sgemm with prefetching: profile and DMA outliers"}
-	res := run(baseConfig(), workloads.NewSGEMM(2048))
-	noPF := tableRuns()["sgemm"]
+	res, err := run(baseConfig(), workloads.NewSGEMM(2048))
+	if err != nil {
+		return nil, err
+	}
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
+	noPF := runs["sgemm"]
 
 	s := &report.Series{
 		Title:   "fig14",
@@ -44,7 +51,7 @@ func Fig14() *Artifact {
 
 	a.Notef("paper: prefetching cuts sgemm batches by ~93%%; measured %.0f%%", reduction*100)
 	a.Notef("paper: outlier batches spend up to ~64%% of time in VABlock DMA state init; measured max %.0f%%", maxDMA*100)
-	return a
+	return a, nil
 }
 
 // Fig15 reproduces Figure 15: dgemm with eviction and prefetching
@@ -53,11 +60,14 @@ func Fig14() *Artifact {
 // cluster later in execution with batch sizes echoing the non-prefetching
 // range; (3) new-VABlock batches pay CPU unmapping, diminishing late in
 // the run; (4) DMA-mapping setup recurs intermittently throughout.
-func Fig15() *Artifact {
+func Fig15() (*Artifact, error) {
 	a := &Artifact{ID: "fig15", Title: "dgemm with eviction + prefetching"}
 	cfg := baseConfig()
 	cfg.Driver.GPUMemBytes = 84 << 20 // dgemm 2048: 96 MB working set -> ~116%
-	res := run(cfg, workloads.NewDGEMM(2048))
+	res, err := run(cfg, workloads.NewDGEMM(2048))
+	if err != nil {
+		return nil, err
+	}
 
 	s := &report.Series{
 		Title: "fig15",
@@ -107,5 +117,5 @@ func Fig15() *Artifact {
 	a.Notef("paper: evictions occur later in execution; measured first eviction at batch %d of %d", firstEvict, len(res.Batches))
 	a.Notef("paper: unmapping diminishes after every VABlock's first GPU touch; measured last unmap at batch %d of %d", lastUnmap, len(res.Batches))
 	a.Notef("paper: DMA setup recurs intermittently; measured %d batches paying first-touch DMA setup", dmaBatches)
-	return a
+	return a, nil
 }

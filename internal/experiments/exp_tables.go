@@ -39,24 +39,30 @@ func ResetCache() { tableRunCache = nil }
 // tableRuns executes the Table 2/3 workload set once (no prefetching, so
 // the fault statistics reflect raw demand faults; in-core on a 4 GB
 // capacity like the paper's in-core table runs) and memoizes results.
-func tableRuns() map[string]*guvm.Result {
+// Nothing is cached on failure, so a retry starts clean.
+func tableRuns() (map[string]*guvm.Result, error) {
 	if tableRunCache != nil {
-		return tableRunCache
+		return tableRunCache, nil
 	}
-	tableRunCache = make(map[string]*guvm.Result)
+	runs := make(map[string]*guvm.Result)
 	for _, w := range tableWorkloads() {
 		cfg := noPrefetch(baseConfig())
 		cfg.Driver.GPUMemBytes = 4 << 30
-		tableRunCache[w.Name()] = run(cfg, w)
+		res, err := run(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		runs[w.Name()] = res
 	}
-	return tableRunCache
+	tableRunCache = runs
+	return tableRunCache, nil
 }
 
 // Table2 reproduces Table 2: per-SM fault counts per batch. The paper's
 // claims: batches mix faults from nearly all SMs; synthetic regular and
 // random saturate at 256/80 = 3.2 faults per SM per batch, while real
 // applications stay well below one-to-few faults per SM.
-func Table2() *Artifact {
+func Table2() (*Artifact, error) {
 	a := &Artifact{ID: "table2", Title: "Per-SM source statistics in each batch"}
 	numSMs := float64(baseConfig().GPU.NumSMs)
 
@@ -64,7 +70,10 @@ func Table2() *Artifact {
 		Title:   "Table 2: per-SM faults per batch",
 		Headers: []string{"benchmark", "avg_faults_per_sm", "std_dev", "min", "max"},
 	}
-	runs := tableRuns()
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
 	order := []string{"regular", "random", "sgemm", "stream", "cufft", "gauss-seidel", "hpgmg"}
 	maxSynthetic, maxApp := 0.0, 0.0
 	for _, name := range order {
@@ -86,7 +95,7 @@ func Table2() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("paper: regular/random average ~3.0 faults/SM (cap 3.20 = 256/80); measured synthetic max avg %.2f", maxSynthetic)
 	a.Notef("paper: applications average <1 fault/SM per batch; measured app max avg %.2f", maxApp)
-	return a
+	return a, nil
 }
 
 // Table3 reproduces Table 3: the distribution of batch faults over
@@ -94,13 +103,16 @@ func Table2() *Artifact {
 // blocks; streaming/stencil codes concentrate tens of faults in a few
 // blocks; the per-block variance is large for real applications, which is
 // why per-VABlock driver parallelism would be imbalanced.
-func Table3() *Artifact {
+func Table3() (*Artifact, error) {
 	a := &Artifact{ID: "table3", Title: "VABlock source statistics in a batch"}
 	t := &report.Table{
 		Title:   "Table 3: faults over VABlocks",
 		Headers: []string{"benchmark", "vablocks_per_batch", "faults_per_vablock", "std_dev", "min", "max"},
 	}
-	runs := tableRuns()
+	runs, err := tableRuns()
+	if err != nil {
+		return nil, err
+	}
 	order := []string{"regular", "random", "sgemm", "stream", "cufft", "gauss-seidel", "hpgmg"}
 	var randomBlocks, stencilBlocks float64
 	for _, name := range order {
@@ -126,7 +138,7 @@ func Table3() *Artifact {
 	a.Tables = append(a.Tables, t)
 	a.Notef("paper: random touches ~233 VABlocks/batch at ~1 fault each; measured %.1f blocks/batch", randomBlocks)
 	a.Notef("paper: gauss-seidel concentrates faults in ~2.3 blocks/batch; measured %.1f", stencilBlocks)
-	return a
+	return a, nil
 }
 
 // table4Scenario holds one Table 4 row pair's configuration.
@@ -140,7 +152,7 @@ type table4Scenario struct {
 // and HPGMG under modest oversubscription, with and without prefetching.
 // The paper measures 3.39x (Gauss-Seidel) and 2.72x (HPGMG) kernel
 // speedups from prefetching, with batch time strictly below kernel time.
-func Table4() *Artifact {
+func Table4() (*Artifact, error) {
 	a := &Artifact{ID: "table4", Title: "Batch and kernel times, prefetch off/on"}
 	scenarios := []table4Scenario{
 		{
@@ -163,8 +175,14 @@ func Table4() *Artifact {
 	for _, sc := range scenarios {
 		cfg := baseConfig()
 		cfg.Driver.GPUMemBytes = sc.capacity
-		off := run(noPrefetch(cfg), sc.make())
-		on := run(cfg, sc.make())
+		off, err := run(noPrefetch(cfg), sc.make())
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(cfg, sc.make())
+		if err != nil {
+			return nil, err
+		}
 		speedup := float64(off.KernelTime) / float64(on.KernelTime)
 		speedups = append(speedups, speedup)
 		t.AddRow(sc.name,
@@ -179,7 +197,7 @@ func Table4() *Artifact {
 	a.Notef("paper: prefetching speeds up Gauss-Seidel 3.39x and HPGMG 2.72x under modest oversubscription; measured %.2fx and %.2fx",
 		speedups[0], speedups[1])
 	a.Notef("paper: aggregate batch time is below kernel time (batching excludes interrupt + in-memory GPU work)")
-	return a
+	return a, nil
 }
 
 // blockCount converts a byte size to VABlocks (rounding up).

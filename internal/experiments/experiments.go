@@ -35,11 +35,13 @@ func (a *Artifact) Notef(format string, args ...interface{}) {
 	a.Notes = append(a.Notes, fmt.Sprintf(format, args...))
 }
 
-// Generator names one experiment.
+// Generator names one experiment. Run returns an error instead of
+// panicking when a simulation fails, so one broken experiment never takes
+// down a whole sweep.
 type Generator struct {
 	ID    string
 	Title string
-	Run   func() *Artifact
+	Run   func() (*Artifact, error)
 }
 
 // All returns every experiment in paper order.
@@ -88,9 +90,13 @@ func Find(id string) (Generator, bool) {
 
 // baseConfig is the shared experiment profile: the paper's 80-SM Titan-V
 // GPU with a scaled memory capacity that individual experiments override.
+// The invariant auditor rides along on every experiment run, so the whole
+// evaluation doubles as a model self-check.
 func baseConfig() guvm.SystemConfig {
 	cfg := guvm.DefaultConfig()
 	cfg.Driver.GPUMemBytes = 256 << 20
+	cfg.Audit.Enabled = true
+	cfg.Audit.Interval = 8
 	return cfg
 }
 
@@ -101,31 +107,30 @@ func noPrefetch(cfg guvm.SystemConfig) guvm.SystemConfig {
 	return cfg
 }
 
-// run executes a workload, panicking on error (experiments are
-// deterministic; an error is a bug).
-func run(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
+// run executes a workload under UVM demand paging.
+func run(cfg guvm.SystemConfig, w workloads.Workload) (*guvm.Result, error) {
 	s, err := guvm.NewSimulator(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", w.Name(), err))
+		return nil, fmt.Errorf("experiments: %s: %w", w.Name(), err)
 	}
 	res, err := s.Run(w)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", w.Name(), err))
+		return nil, fmt.Errorf("experiments: %s: %w", w.Name(), err)
 	}
-	return res
+	return res, nil
 }
 
 // runExplicit executes the explicit-management baseline.
-func runExplicit(cfg guvm.SystemConfig, w workloads.Workload) *guvm.Result {
+func runExplicit(cfg guvm.SystemConfig, w workloads.Workload) (*guvm.Result, error) {
 	s, err := guvm.NewSimulator(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: explicit %s: %v", w.Name(), err))
+		return nil, fmt.Errorf("experiments: explicit %s: %w", w.Name(), err)
 	}
 	res, err := s.RunExplicit(w)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: explicit %s: %v", w.Name(), err))
+		return nil, fmt.Errorf("experiments: explicit %s: %w", w.Name(), err)
 	}
-	return res
+	return res, nil
 }
 
 // accessesOf counts page accesses a workload performs (for per-access

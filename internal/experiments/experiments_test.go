@@ -36,7 +36,10 @@ func TestFastExperiments(t *testing.T) {
 	}
 
 	t.Run("fig03", func(t *testing.T) {
-		a := Fig03()
+		a, err := Fig03()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(a.Tables) == 0 || len(a.Series) == 0 {
 			t.Fatal("missing output")
 		}
@@ -52,7 +55,10 @@ func TestFastExperiments(t *testing.T) {
 	})
 
 	t.Run("fig05", func(t *testing.T) {
-		a := Fig05()
+		a, err := Fig05()
+		if err != nil {
+			t.Fatal(err)
+		}
 		found := false
 		for _, n := range a.Notes {
 			if strings.Contains(n, "measured max batch 256") {
@@ -65,7 +71,10 @@ func TestFastExperiments(t *testing.T) {
 	})
 
 	t.Run("fig13", func(t *testing.T) {
-		a := Fig13()
+		a, err := Fig13()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(a.Tables) == 0 {
 			t.Fatal("no level table")
 		}
@@ -82,7 +91,10 @@ func TestFastExperiments(t *testing.T) {
 	})
 
 	t.Run("fig14", func(t *testing.T) {
-		a := Fig14()
+		a, err := Fig14()
+		if err != nil {
+			t.Fatal(err)
+		}
 		var reduction string
 		for _, row := range a.Tables[0].Rows {
 			if row[0] == "batch_reduction_pct" {
@@ -95,7 +107,10 @@ func TestFastExperiments(t *testing.T) {
 	})
 
 	t.Run("fig16", func(t *testing.T) {
-		a := Fig16()
+		a, err := Fig16()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(a.Series) != 2 {
 			t.Fatalf("case study series = %d, want profile+faults", len(a.Series))
 		}
@@ -111,8 +126,14 @@ func TestExperimentsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are integration-scale")
 	}
-	a := Fig05()
-	b := Fig05()
+	a, err := Fig05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig05()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Notes) != len(b.Notes) {
 		t.Fatal("note count differs between runs")
 	}
@@ -135,7 +156,10 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 	for _, g := range All() {
 		g := g
 		t.Run(g.ID, func(t *testing.T) {
-			a := g.Run()
+			a, err := g.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if a.ID != g.ID {
 				t.Fatalf("artifact id %q != generator id %q", a.ID, g.ID)
 			}

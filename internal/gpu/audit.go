@@ -1,0 +1,100 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+
+	"guvm/internal/digest"
+	"guvm/internal/mem"
+)
+
+// AuditState is the canonical snapshot of the device model: fault-buffer
+// occupancy, per-µTLB pending/deferred/stalled populations, kernel
+// progress, and the accumulated statistics. At a clean end of run every
+// occupancy field must be zero — a non-empty µTLB after the queue drained
+// means a lost fault.
+type AuditState struct {
+	BufferLen int
+	Running   bool
+	// LiveBlocks counts thread blocks resident on SMs; NextBlock is the
+	// grid launch cursor.
+	LiveBlocks int
+	NextBlock  int
+	NextWarpID int
+	// Per-µTLB occupancy, indexed by µTLB id.
+	PendingPerUTLB  []int
+	PrefetchPerUTLB []int
+	DeferredPerUTLB []int
+	StalledPerUTLB  []int
+	// PendingPages flattens every pending fault page (replayable then
+	// prefetch, per µTLB, in insertion order) so digests see the exact
+	// outstanding-fault population, not just its size.
+	PendingPages []mem.PageID
+	Stats        Stats
+}
+
+// TotalPending sums outstanding fault entries across µTLBs.
+func (st *AuditState) TotalPending() int {
+	n := 0
+	for i := range st.PendingPerUTLB {
+		n += st.PendingPerUTLB[i] + st.PrefetchPerUTLB[i] + st.DeferredPerUTLB[i]
+	}
+	return n
+}
+
+// AuditState captures the canonical device state for auditing.
+func (d *Device) AuditState() AuditState {
+	st := AuditState{
+		BufferLen:  d.Buffer.Len(),
+		Running:    d.launched,
+		LiveBlocks: d.liveBlocks,
+		NextBlock:  d.nextBlock,
+		NextWarpID: d.nextWarpID,
+		Stats:      d.stats,
+	}
+	for _, u := range d.utlbs {
+		st.PendingPerUTLB = append(st.PendingPerUTLB, len(u.pending))
+		st.PrefetchPerUTLB = append(st.PrefetchPerUTLB, len(u.prefetchPending))
+		st.DeferredPerUTLB = append(st.DeferredPerUTLB, len(u.deferred))
+		st.StalledPerUTLB = append(st.StalledPerUTLB, len(u.stalled))
+		st.PendingPages = append(st.PendingPages, u.order...)
+		st.PendingPages = append(st.PendingPages, u.prefetchOrder...)
+	}
+	return st
+}
+
+// Digest returns the FNV-1a digest of the canonical device state.
+func (d *Device) Digest() uint64 {
+	st := d.AuditState()
+	h := digest.New()
+	h = h.Int(st.BufferLen).Bool(st.Running)
+	h = h.Int(st.LiveBlocks).Int(st.NextBlock).Int(st.NextWarpID)
+	for i := range st.PendingPerUTLB {
+		h = h.Int(st.PendingPerUTLB[i]).Int(st.PrefetchPerUTLB[i])
+		h = h.Int(st.DeferredPerUTLB[i]).Int(st.StalledPerUTLB[i])
+	}
+	h = h.Int(len(st.PendingPages))
+	for _, p := range st.PendingPages {
+		h = h.Uint64(uint64(p))
+	}
+	s := st.Stats
+	h = h.Int(s.FaultsEmitted).Int(s.DupFaults).Int(s.Refaults)
+	h = h.Int(s.ThrottleStalls).Int(s.UTLBFullStalls).Int(s.BlocksCompleted)
+	h = h.Int(s.InjectedDrops).Int(s.InjectedDropRetries).Int(s.InjectedDropsLost)
+	return h.Sum()
+}
+
+// Dump renders the audit state for divergence diagnostics.
+func (st AuditState) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gpu: buffer %d, running %v, live blocks %d (next %d), stats %+v\n",
+		st.BufferLen, st.Running, st.LiveBlocks, st.NextBlock, st.Stats)
+	for i := range st.PendingPerUTLB {
+		if st.PendingPerUTLB[i]+st.PrefetchPerUTLB[i]+st.DeferredPerUTLB[i]+st.StalledPerUTLB[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  utlb %d: %d pending, %d prefetch, %d deferred, %d stalled warps\n",
+			i, st.PendingPerUTLB[i], st.PrefetchPerUTLB[i], st.DeferredPerUTLB[i], st.StalledPerUTLB[i])
+	}
+	return b.String()
+}

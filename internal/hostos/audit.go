@@ -1,0 +1,97 @@
+package hostos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guvm/internal/digest"
+	"guvm/internal/mem"
+)
+
+// MappingAudit is the audit view of one VABlock's live CPU mappings.
+type MappingAudit struct {
+	Block mem.VABlockID
+	// Pages marks the pages holding live CPU PTEs.
+	Pages mem.PageSet
+	// Threads is the bitmask of CPU threads that touched the mapping.
+	Threads uint64
+}
+
+// AuditState is the canonical snapshot of the host VM model: every block
+// with live CPU mappings (ascending block order), the radix-tree shape,
+// and the accumulated statistics.
+type AuditState struct {
+	Mappings   []MappingAudit
+	RadixNodes int
+	DMANext    uint64
+	Stats      Stats
+}
+
+// MappedPages returns a copy of the live-CPU-mapping page set of block.
+func (vm *VM) MappedPages(block mem.VABlockID) mem.PageSet {
+	if bm := vm.mapped[block]; bm != nil {
+		return bm.pages
+	}
+	return mem.PageSet{}
+}
+
+// AuditState captures the canonical state of the host VM for auditing.
+func (vm *VM) AuditState() AuditState {
+	st := AuditState{
+		RadixNodes: vm.dma.Nodes(),
+		DMANext:    vm.dmaNext,
+		Stats:      vm.stats,
+	}
+	blocks := make([]mem.VABlockID, 0, len(vm.mapped))
+	for b, bm := range vm.mapped {
+		if bm.pages.Any() {
+			blocks = append(blocks, b)
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		bm := vm.mapped[b]
+		st.Mappings = append(st.Mappings, MappingAudit{
+			Block:   b,
+			Pages:   bm.pages,
+			Threads: bm.threads,
+		})
+	}
+	return st
+}
+
+// Digest returns the FNV-1a digest of the canonical host VM state. Two
+// runs of the same configuration must produce identical digests at every
+// batch boundary.
+func (vm *VM) Digest() uint64 {
+	st := vm.AuditState()
+	h := digest.New()
+	h = h.Int(len(st.Mappings))
+	for i := range st.Mappings {
+		m := &st.Mappings[i]
+		h = h.Uint64(uint64(m.Block))
+		h = h.Words(m.Pages[:])
+		h = h.Uint64(m.Threads)
+	}
+	h = h.Int(st.RadixNodes)
+	h = h.Uint64(st.DMANext)
+	s := st.Stats
+	h = h.Int(s.UnmapCalls).Int(s.PagesUnmapped).Int(s.PagesPopulated)
+	h = h.Int(s.DMAPagesMapped).Int(s.RadixNodes).Int(s.PopulateFailures)
+	h = h.Int64(int64(s.UnmapTime)).Int64(int64(s.PopulateTime)).Int64(int64(s.DMAMapTime))
+	return h.Sum()
+}
+
+// Dump renders the audit state for divergence diagnostics.
+func (st AuditState) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostos: %d mapped blocks, %d radix nodes, stats %+v\n",
+		len(st.Mappings), st.RadixNodes, st.Stats)
+	for i := range st.Mappings {
+		m := &st.Mappings[i]
+		fmt.Fprintf(&b, "  block %d: %d CPU-mapped pages, threads %#x\n",
+			m.Block, m.Pages.Count(), m.Threads)
+	}
+	return b.String()
+}

@@ -5,6 +5,9 @@
 package interconnect
 
 import (
+	"fmt"
+
+	"guvm/internal/digest"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 )
@@ -61,6 +64,25 @@ func NewLink(cfg Config) *Link {
 
 // Stats returns a copy of the accumulated transfer statistics.
 func (l *Link) Stats() Stats { return l.stats }
+
+// AuditState returns the canonical link state: the stats are the whole
+// state, since the link is a pure cost model.
+func (l *Link) AuditState() Stats { return l.stats }
+
+// Digest returns the FNV-1a digest of the canonical link state.
+func (l *Link) Digest() uint64 {
+	h := digest.New()
+	h = h.Int(l.stats.Ops)
+	h = h.Uint64(l.stats.BytesToGPU).Uint64(l.stats.BytesToHost)
+	h = h.Int64(int64(l.stats.TransferTime))
+	return h.Sum()
+}
+
+// Dump renders the audit state for divergence diagnostics.
+func (s Stats) Dump() string {
+	return fmt.Sprintf("link: %d ops, %d B to GPU, %d B to host, %v busy\n",
+		s.Ops, s.BytesToGPU, s.BytesToHost, s.TransferTime)
+}
 
 // bytesTime converts a byte count to pure bandwidth time.
 func (l *Link) bytesTime(bytes uint64) sim.Time {

@@ -7,6 +7,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"runtime/debug"
 )
 
 // Time is virtual simulation time in nanoseconds.
@@ -157,8 +158,24 @@ func (e *Engine) dispatch(ev *event) bool {
 		})
 		return false
 	}
-	ev.fn()
+	e.runCallback(ev.fn)
 	return true
+}
+
+// runCallback executes one event callback, converting a panic into the
+// run's terminal *CallbackPanicError instead of unwinding through Run.
+func (e *Engine) runCallback(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.Fail(&CallbackPanicError{
+				Value:    r,
+				At:       e.now,
+				Executed: e.executed,
+				Stack:    string(debug.Stack()),
+			})
+		}
+	}()
+	fn()
 }
 
 // Run dispatches events in timestamp order until the queue drains, Stop or

@@ -31,3 +31,31 @@ func (e *LivelockError) Error() string {
 
 // Unwrap lets errors.Is(err, ErrLivelock) match.
 func (e *LivelockError) Unwrap() error { return ErrLivelock }
+
+// ErrCallbackPanic is the sentinel matched by errors.Is when an event
+// callback panicked. The concrete error is always a *CallbackPanicError
+// carrying the recovered value and the dispatch context.
+var ErrCallbackPanic = errors.New("sim: callback panic")
+
+// CallbackPanicError is the structured diagnostic produced when an event
+// callback panics. The engine recovers the panic, records this error as
+// the run's terminal error, and returns it from Run — a model bug aborts
+// one simulation, not the whole process.
+type CallbackPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// At is the virtual time of the panicking event.
+	At Time
+	// Executed is how many events had been dispatched, inclusive.
+	Executed uint64
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *CallbackPanicError) Error() string {
+	return fmt.Sprintf("sim: event callback panicked at virtual time %d ns (event %d): %v",
+		e.At, e.Executed, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrCallbackPanic) match.
+func (e *CallbackPanicError) Unwrap() error { return ErrCallbackPanic }

@@ -57,6 +57,11 @@ type BatchRecord struct {
 	// and the blocks evicted.
 	ServicedSpans []mem.Span
 	EvictedBlocks []mem.VABlockID
+	// ServicedBlocks lists the distinct VABlocks this batch migrated
+	// pages into (faulted blocks plus cross-block prefetch targets), in
+	// service order. Always retained: the audit subsystem needs it to
+	// reconcile evictions against same-batch re-servicing.
+	ServicedBlocks []mem.VABlockID
 
 	// FaultsPerSM[sm] counts this batch's raw faults per SM of origin
 	// (Table 2).

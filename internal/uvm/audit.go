@@ -1,0 +1,146 @@
+package uvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guvm/internal/digest"
+	"guvm/internal/gpumem"
+	"guvm/internal/mem"
+)
+
+// BlockAudit is the audit view of one VABlock's driver-side state.
+type BlockAudit struct {
+	ID        mem.VABlockID
+	Resident  mem.PageSet
+	Populated mem.PageSet
+	HasChunk  bool
+	Chunk     gpumem.ChunkID
+	DMAMapped bool
+	LastTouch int
+	AllocSeq  int
+	Evictions int
+}
+
+// AuditState is the canonical snapshot of the driver: every known VABlock
+// (ascending ID), the chunk-allocation order, capacity accounting, the
+// adaptive batch state, and the accumulated statistics.
+type AuditState struct {
+	Blocks []BlockAudit
+	// AllocatedOrder is d.allocated in order: the LRU/FIFO victim scan
+	// sequence. Every listed block must hold a chunk.
+	AllocatedOrder []mem.VABlockID
+	ChunksInUse    int
+	CapacityBlocks int
+	EffBatch       int
+	BatchCount     int
+	NextSeq        int
+	Sleeping       bool
+	InBatch        bool
+	Stats          Stats
+}
+
+// ResidentPages sums GPU-resident pages across blocks.
+func (st *AuditState) ResidentPages() int {
+	n := 0
+	for i := range st.Blocks {
+		n += st.Blocks[i].Resident.Count()
+	}
+	return n
+}
+
+// ChunkOwner reports the VABlock backing a live chunk, resolving through
+// the physical allocator (for the chunk-ownership bijection check).
+func (d *Driver) ChunkOwner(id gpumem.ChunkID) (mem.VABlockID, bool) {
+	return d.pmm.Owner(id)
+}
+
+// AuditState captures the canonical driver state for auditing.
+func (d *Driver) AuditState() AuditState {
+	st := AuditState{
+		ChunksInUse:    d.pmm.InUse(),
+		CapacityBlocks: d.cfg.CapacityBlocks(),
+		EffBatch:       d.effBatch,
+		BatchCount:     d.batchCount,
+		NextSeq:        d.nextSeq,
+		Sleeping:       d.sleeping,
+		InBatch:        d.inBatch,
+		Stats:          d.stats,
+	}
+	ids := make([]mem.VABlockID, 0, len(d.blocks))
+	for id := range d.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := d.blocks[id]
+		st.Blocks = append(st.Blocks, BlockAudit{
+			ID:        b.id,
+			Resident:  b.resident,
+			Populated: b.populated,
+			HasChunk:  b.hasChunk,
+			Chunk:     b.chunk,
+			DMAMapped: b.dmaMapped,
+			LastTouch: b.lastTouch,
+			AllocSeq:  b.allocSeq,
+			Evictions: b.evictions,
+		})
+	}
+	for _, b := range d.allocated {
+		st.AllocatedOrder = append(st.AllocatedOrder, b.id)
+	}
+	return st
+}
+
+// Digest returns the FNV-1a digest of the canonical driver state.
+func (d *Driver) Digest() uint64 {
+	st := d.AuditState()
+	h := digest.New()
+	h = h.Int(len(st.Blocks))
+	for i := range st.Blocks {
+		b := &st.Blocks[i]
+		h = h.Uint64(uint64(b.ID))
+		h = h.Words(b.Resident[:])
+		h = h.Words(b.Populated[:])
+		h = h.Bool(b.HasChunk)
+		if b.HasChunk {
+			h = h.Int(int(b.Chunk))
+		}
+		h = h.Bool(b.DMAMapped)
+		h = h.Int(b.LastTouch).Int(b.AllocSeq).Int(b.Evictions)
+	}
+	h = h.Int(len(st.AllocatedOrder))
+	for _, id := range st.AllocatedOrder {
+		h = h.Uint64(uint64(id))
+	}
+	h = h.Int(st.ChunksInUse).Int(st.CapacityBlocks)
+	h = h.Int(st.EffBatch).Int(st.BatchCount).Int(st.NextSeq)
+	h = h.Bool(st.Sleeping).Bool(st.InBatch)
+	s := st.Stats
+	h = h.Int(s.Batches).Int(s.TotalFaults).Int(s.StaleFaults).Int(s.Evictions)
+	h = h.Int(s.PrefetchedPages).Int(s.CrossBlockPages).Int(s.MigratedPages)
+	h = h.Int(s.WakeUps).Int(s.SpuriousWakeUps)
+	h = h.Int(s.AsyncUnmapCalls).Int64(int64(s.AsyncUnmapTime))
+	h = h.Int(s.MigRetries).Int(s.HostAllocFailures).Int(s.BatchShrinks)
+	h = h.Uint64(s.ExplicitBytes).Uint64(s.InjMigRetryBytes)
+	return h.Sum()
+}
+
+// Dump renders the audit state for divergence diagnostics.
+func (st AuditState) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uvm: %d blocks known, %d/%d chunks in use, effBatch %d, batch %d, stats %+v\n",
+		len(st.Blocks), st.ChunksInUse, st.CapacityBlocks, st.EffBatch, st.BatchCount, st.Stats)
+	for i := range st.Blocks {
+		blk := &st.Blocks[i]
+		fmt.Fprintf(&b, "  block %d: resident %d, populated %d, chunk %v",
+			blk.ID, blk.Resident.Count(), blk.Populated.Count(), blk.HasChunk)
+		if blk.HasChunk {
+			fmt.Fprintf(&b, " (#%d)", blk.Chunk)
+		}
+		fmt.Fprintf(&b, ", dma %v, lastTouch %d, seq %d, evictions %d\n",
+			blk.DMAMapped, blk.LastTouch, blk.AllocSeq, blk.Evictions)
+	}
+	return b.String()
+}

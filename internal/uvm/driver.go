@@ -63,6 +63,14 @@ type Stats struct {
 	// BatchShrinks counts effective-batch-size halvings forced by host
 	// allocation pressure.
 	BatchShrinks int
+	// ExplicitBytes counts bytes bulk-copied outside the fault path
+	// (cudaMemcpy-style management); the audit subsystem reconciles it
+	// against link accounting.
+	ExplicitBytes uint64
+	// InjMigRetryBytes counts bytes re-carried by injected transient
+	// migration failures: the link charged them, but no batch record
+	// counts them as migrated.
+	InjMigRetryBytes uint64
 }
 
 // allocSpan records one managed allocation's VABlock range.
@@ -101,6 +109,11 @@ type Driver struct {
 	// arbiter, when set, serializes batch servicing with other drivers
 	// sharing the host (multi-GPU).
 	arbiter *Arbiter
+
+	// onBatch, when set, observes every completed batch (the audit
+	// subsystem's per-batch hook). It runs after the batch record lands
+	// in the Collector and before the next batch starts.
+	onBatch func(id int, rec *trace.BatchRecord)
 
 	Collector *trace.Collector
 	stats     Stats
@@ -141,6 +154,11 @@ func (d *Driver) Attach(dev *gpu.Device) {
 // SetArbiter makes the driver contend for the shared host service slot
 // before each batch (multi-GPU configurations).
 func (d *Driver) SetArbiter(a *Arbiter) { d.arbiter = a }
+
+// SetBatchObserver registers fn to run at the end of every batch, after
+// its record is collected. The audit subsystem uses this hook to check
+// invariants and snapshot state digests at batch granularity.
+func (d *Driver) SetBatchObserver(fn func(id int, rec *trace.BatchRecord)) { d.onBatch = fn }
 
 // SetInjector attaches a fault injector to the driver's migration and
 // host-allocation paths (and to the backing host VM). A nil injector (the
@@ -274,6 +292,7 @@ func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) (sim.Time, error
 		b.dmaMapped = true
 		b.lastTouch = d.batchCount
 	}
+	d.stats.ExplicitBytes += bytes
 	return d.link.TransferBytes(bytes, true), nil
 }
 
@@ -432,6 +451,7 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	for _, bid := range blockOrder {
 		inThisBatch[bid] = true
 	}
+	rec.ServicedBlocks = append(rec.ServicedBlocks, blockOrder...)
 	var total sim.Time
 	total += d.cfg.Costs.BatchSetup + tFetch + rec.TDedup
 	blockCosts := make([]sim.Time, 0, len(blockOrder))
@@ -475,6 +495,9 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 		d.inBatch = false
 		if d.arbiter != nil {
 			d.arbiter.Release()
+		}
+		if d.onBatch != nil {
+			d.onBatch(id, &d.Collector.Batches[id])
 		}
 		// Service the next batch if faults are already waiting;
 		// otherwise sleep until the next interrupt.
@@ -680,6 +703,9 @@ func (d *Driver) transferWithRetry(bid mem.VABlockID, spans []mem.Span, rec *tra
 	for i := 0; i < failures; i++ {
 		cost += d.link.TransferSpans(spans, true)
 		cost += d.inj.MigrateBackoffFor(i)
+		for _, sp := range spans {
+			d.stats.InjMigRetryBytes += sp.Bytes()
+		}
 		d.stats.MigRetries++
 		rec.InjMigFailures++
 	}

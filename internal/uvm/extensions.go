@@ -215,6 +215,7 @@ func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABloc
 	rec.BytesMigrated += mem.VABlockSize
 	rec.PrefetchedPages += mem.PagesPerVABlock
 	rec.ServicedSpans = append(rec.ServicedSpans, spans...)
+	rec.ServicedBlocks = append(rec.ServicedBlocks, bid)
 	d.stats.MigratedPages += mem.PagesPerVABlock
 	d.stats.PrefetchedPages += mem.PagesPerVABlock
 	d.stats.CrossBlockPages += mem.PagesPerVABlock

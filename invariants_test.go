@@ -1,9 +1,11 @@
 package guvm
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"guvm/internal/audit"
 	"guvm/internal/gpu"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
@@ -64,77 +66,59 @@ func (f *fuzzWorkload) Phases(bases []mem.Addr) []workloads.Phase {
 	return []workloads.Phase{{Name: "fuzz", Kernel: kernel}}
 }
 
+// fuzzConfig is the shared profile for the invariant fuzzers: a small GPU
+// so a few VABlocks of data already exercise eviction, with the auditor
+// checking every batch.
+func fuzzConfig(oversub, prefetch bool) SystemConfig {
+	cfg := DefaultConfig()
+	cfg.GPU.NumSMs = 4
+	cfg.Driver.PrefetchEnabled = prefetch
+	cfg.Driver.Upgrade64K = prefetch
+	if oversub {
+		cfg.Driver.GPUMemBytes = 4 << 20 // 2 chunks vs 12 MB of data
+	} else {
+		cfg.Driver.GPUMemBytes = 64 << 20
+	}
+	cfg.Audit.Enabled = true
+	cfg.Audit.Interval = 1
+	return cfg
+}
+
+// runInvariantChecked executes one fuzz workload with the auditor on and
+// reports any failure — simulation error, audit violation, or an audit
+// that silently observed nothing.
+func runInvariantChecked(cfg SystemConfig, w workloads.Workload) error {
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(w)
+	if err != nil {
+		return err
+	}
+	if res.Audit == nil {
+		return errors.New("audit enabled but no report attached")
+	}
+	if res.Audit.BatchesAudited != len(res.Batches) {
+		return errors.New("auditor missed batch boundaries")
+	}
+	if len(res.Batches) > 0 && res.Audit.ChecksRun == 0 {
+		return errors.New("auditor ran no checks")
+	}
+	return nil
+}
+
 // TestSystemInvariantsUnderRandomWorkloads drives random op mixes through
-// the full stack — including oversubscription — and checks the global
-// invariants that define a correct UVM implementation.
+// the full stack — including oversubscription — with the runtime auditor
+// checking every invariant at every batch boundary. The invariant
+// catalogue itself lives in internal/audit; this test's job is to hit it
+// with adversarial workloads.
 func TestSystemInvariantsUnderRandomWorkloads(t *testing.T) {
 	check := func(seed uint64, oversub, prefetch bool) bool {
-		cfg := DefaultConfig()
-		cfg.GPU.NumSMs = 4
-		cfg.Driver.PrefetchEnabled = prefetch
-		cfg.Driver.Upgrade64K = prefetch
-		if oversub {
-			cfg.Driver.GPUMemBytes = 4 << 20 // 2 chunks vs 12 MB of data
-		} else {
-			cfg.Driver.GPUMemBytes = 64 << 20
-		}
+		cfg := fuzzConfig(oversub, prefetch)
 		w := &fuzzWorkload{seed: seed, blocks: 4, ops: 30}
-		s, err := NewSimulator(cfg)
-		if err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
-		}
-		res, err := s.Run(w)
-		if err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
-		}
-
-		// Invariant 1: the kernel completed (Run returned) and time
-		// advanced.
-		if res.TotalTime <= 0 {
-			t.Logf("seed %d: no time advanced", seed)
-			return false
-		}
-		// Invariant 2: capacity was never exceeded.
-		capBlocks := int(cfg.Driver.GPUMemBytes / mem.VABlockSize)
-		if res.DriverStats.Evictions == 0 && oversub {
-			// Possible only if the random ops stayed within capacity —
-			// acceptable, not a failure.
-			_ = capBlocks
-		}
-		// Invariant 3: batch records are monotone, with consistent
-		// accounting.
-		var prevStart sim.Time
-		for _, b := range res.Batches {
-			if b.Start < prevStart || b.End < b.Start {
-				t.Logf("seed %d: batch %d interval wrong", seed, b.ID)
-				return false
-			}
-			prevStart = b.Start
-			if b.UniquePages+b.DupFaults() != b.RawFaults {
-				t.Logf("seed %d: batch %d fault accounting wrong", seed, b.ID)
-				return false
-			}
-			if b.PagesMigrated < 0 || b.BytesMigrated != uint64(b.PagesMigrated)*mem.PageSize {
-				t.Logf("seed %d: batch %d migration accounting wrong", seed, b.ID)
-				return false
-			}
-		}
-		// Invariant 4: migrated >= unique non-stale pages serviced (no
-		// faulted page left unserviced).
-		if res.DriverStats.MigratedPages == 0 && res.DriverStats.TotalFaults > res.DriverStats.StaleFaults {
-			t.Logf("seed %d: faults without migration", seed)
-			return false
-		}
-		// Invariant 5: link accounting matches batch totals plus
-		// eviction writebacks.
-		var batchBytes uint64
-		for _, b := range res.Batches {
-			batchBytes += b.BytesMigrated
-		}
-		if res.LinkStats.BytesToGPU != batchBytes {
-			t.Logf("seed %d: link %d != batches %d", seed, res.LinkStats.BytesToGPU, batchBytes)
+		if err := runInvariantChecked(cfg, w); err != nil {
+			t.Logf("seed %d oversub=%v prefetch=%v: %v", seed, oversub, prefetch, err)
 			return false
 		}
 		return true
@@ -151,20 +135,35 @@ func TestSystemInvariantsUnderRandomWorkloads(t *testing.T) {
 // oversubscription with prefetch on (the most entangled configuration).
 func TestOversubscribedFuzzCompletes(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 42, 1234, 99999} {
-		cfg := DefaultConfig()
-		cfg.GPU.NumSMs = 4
-		cfg.Driver.GPUMemBytes = 4 << 20
+		cfg := fuzzConfig(true, true)
 		w := &fuzzWorkload{seed: seed, blocks: 6, ops: 40}
-		s, err := NewSimulator(cfg)
-		if err != nil {
+		if err := runInvariantChecked(cfg, w); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
-		}
-		res, err := s.Run(w)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if res.DriverStats.Evictions == 0 {
-			t.Logf("seed %d: no evictions (small footprint roll)", seed)
 		}
 	}
+}
+
+// FuzzSystemInvariants is the coverage-guided variant: the fuzzer mutates
+// the workload seed, shape and configuration bits, and the auditor decides
+// whether the resulting run obeyed every system invariant. Any
+// ViolationError (or crash) is a finding.
+func FuzzSystemInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(30), false, false)
+	f.Add(uint64(7), uint8(4), uint8(30), false, true)
+	f.Add(uint64(42), uint8(6), uint8(40), true, true)
+	f.Add(uint64(1234), uint8(6), uint8(40), true, false)
+	f.Add(uint64(99999), uint8(2), uint8(10), true, true)
+	f.Fuzz(func(t *testing.T, seed uint64, blocks, ops uint8, oversub, prefetch bool) {
+		// Clamp the shape so a single input stays sub-second.
+		nb := int(blocks)%8 + 1
+		no := int(ops)%48 + 1
+		cfg := fuzzConfig(oversub, prefetch)
+		w := &fuzzWorkload{seed: seed, blocks: nb, ops: no}
+		if err := runInvariantChecked(cfg, w); err != nil {
+			if errors.Is(err, audit.ErrViolation) {
+				t.Fatalf("invariant violated: %v", err)
+			}
+			t.Fatalf("run failed: %v", err)
+		}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"guvm/internal/audit"
 	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
 	"guvm/internal/hostos"
@@ -28,6 +29,7 @@ type MultiSimulator struct {
 	HostVM   *hostos.VM
 	Arbiter  *uvm.Arbiter
 	Injector *faultinject.Injector
+	Auditors []*audit.Auditor
 
 	used bool
 }
@@ -72,6 +74,15 @@ func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 		drv.SetArbiter(arb)
 		drv.SetInjector(inj)
 		dev.SetInjector(inj)
+		if cfg.Audit.Active() {
+			// Every driver aliases the one host VM and the one injector,
+			// so the per-device checks that reconcile against them are
+			// disabled.
+			a := audit.New(cfg.Audit, audit.Options{SharedHost: true, SharedInjector: true},
+				eng, drv, dev, vm, inj)
+			a.Attach()
+			m.Auditors = append(m.Auditors, a)
+		}
 		m.Drivers = append(m.Drivers, drv)
 		m.Devices = append(m.Devices, dev)
 	}
@@ -149,20 +160,29 @@ func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, erro
 		}()
 		_, engErr = m.Engine.Run()
 	}()
-	if runErr != nil {
-		return nil, runErr
+	failure := runErr
+	if failure == nil {
+		failure = engErr
 	}
-	if engErr != nil {
-		return nil, engErr
-	}
-	for i, dev := range m.Devices {
-		if dev.Running() {
-			return nil, fmt.Errorf("guvm: device %d kernel incomplete at virtual time %d ns with no pending events: %w",
-				i, m.Engine.Now(), ErrStalled)
+	if failure == nil {
+		for i, dev := range m.Devices {
+			if dev.Running() {
+				failure = fmt.Errorf("guvm: device %d kernel incomplete at virtual time %d ns with no pending events: %w",
+					i, m.Engine.Now(), ErrStalled)
+				break
+			}
 		}
+	}
+	auditReps := make([]*audit.Report, len(ws))
+	for i, a := range m.Auditors {
+		auditReps[i] = a.Finish(failure)
+	}
+	if failure != nil {
+		return nil, failure
 	}
 
 	results := make([]*Result, len(ws))
+	var auditErr error
 	for i := range ws {
 		col := m.Drivers[i].Collector
 		results[i] = &Result{
@@ -178,7 +198,14 @@ func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, erro
 			HostStats:   m.HostVM.Stats(),
 			LinkStats:   m.Drivers[i].Link().Stats(),
 			InjectStats: m.Injector.Stats(),
+			Audit:       auditReps[i],
 		}
+		if err := auditReps[i].Err(); err != nil && auditErr == nil {
+			auditErr = fmt.Errorf("guvm: device %d run completed but failed its audit: %w", i, err)
+		}
+	}
+	if auditErr != nil {
+		return results, auditErr
 	}
 	return results, nil
 }

@@ -1,7 +1,16 @@
 #!/bin/sh
-# Full verification gate: vet, build, and the test suite under the race
-# detector. Run from the repository root (or via `make check`).
+# Full verification gate: vet, build, the test suite under the race
+# detector, and audited end-to-end runs of the paper's reference
+# workloads. Run from the repository root (or via `make check`).
 set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# End-to-end audit gate: the Figure-3 (vecadd) and Figure-8 (stream)
+# workloads must complete with the runtime invariant auditor checking
+# every batch, and the stream run must produce bit-identical per-batch
+# state digests across two runs.
+go run ./cmd/uvmsim -workload vecadd -audit > /dev/null
+go run ./cmd/uvmsim -workload stream -mb 16 -audit > /dev/null
+go run ./cmd/uvmsim -workload stream -mb 16 -verify-determinism > /dev/null
