@@ -16,6 +16,11 @@ import (
 // workload cache is reset), so the reported ns/op is the cost of
 // reproducing that table or figure end-to-end. The artifact itself — the
 // same rows/series the paper reports — is written by cmd/paperfigs.
+//
+// ResetCache clears ALL cross-experiment memo state by contract: every
+// package-level cache in internal/experiments must be a single-flight
+// memo cell wired into it (DESIGN.md §6.1), so cold-cache timings here
+// cannot silently become warm-cache ones when a new cache is added.
 
 func mustBenchSim(b *testing.B, cfg guvm.SystemConfig) *guvm.Simulator {
 	b.Helper()

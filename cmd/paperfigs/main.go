@@ -2,9 +2,14 @@
 // evaluation from the simulator, writing aligned tables, CSV series, and
 // paper-vs-measured notes under an output directory.
 //
+// Experiments run on a worker pool (-jobs, default GOMAXPROCS): each
+// generator drives its own simulation engine, and artifacts are collected
+// in experiment order, so the written output is byte-identical at any
+// -jobs value.
+//
 // Usage:
 //
-//	paperfigs [-out results] [-only fig09,table2] [-v]
+//	paperfigs [-out results] [-only fig09,table2] [-jobs 4] [-v]
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,6 +27,7 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	verbose := flag.Bool("v", false, "print tables and notes to stdout")
 	flag.Parse()
 
@@ -45,47 +52,21 @@ func main() {
 
 	var summary strings.Builder
 	var failed []string
-	for _, g := range gens {
-		start := time.Now()
-		fmt.Printf("== %s: %s\n", g.ID, g.Title)
-		a, err := g.Run()
-		if err != nil {
+	experiments.RunParallel(gens, *jobs, func(r experiments.RunResult) {
+		fmt.Printf("== %s: %s\n", r.Gen.ID, r.Gen.Title)
+		if r.Err != nil {
 			// One broken experiment must not take down the sweep: record
 			// it, keep going, and exit non-zero at the end.
-			fmt.Fprintf(os.Stderr, "paperfigs: experiment %s failed: %v\n", g.ID, err)
-			fmt.Fprintf(&summary, "## %s — %s\n\n- FAILED: %v\n\n", g.ID, g.Title, err)
-			failed = append(failed, g.ID)
-			continue
+			fmt.Fprintf(os.Stderr, "paperfigs: experiment %s failed: %v\n", r.Gen.ID, r.Err)
+			fmt.Fprintf(&summary, "## %s — %s\n\n- FAILED: %v\n\n", r.Gen.ID, r.Gen.Title, r.Err)
+			failed = append(failed, r.Gen.ID)
+			return
 		}
+		a := r.Artifact
 		dir := filepath.Join(*out, a.ID)
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := writeArtifact(dir, a, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 			os.Exit(1)
-		}
-		for i, tb := range a.Tables {
-			name := filepath.Join(dir, fmt.Sprintf("table%d.txt", i))
-			if err := os.WriteFile(name, []byte(tb.String()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(name[:len(name)-4]+".csv", []byte(tb.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
-			}
-			if *verbose {
-				fmt.Println(tb.String())
-			}
-		}
-		for _, s := range a.Series {
-			name := filepath.Join(dir, s.Title+".csv")
-			if err := os.WriteFile(name, []byte(s.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
-			}
-			if *verbose && len(s.Columns) >= 2 && len(s.Rows) > 1 {
-				// Quick-look shape check in the terminal.
-				fmt.Println(s.ASCIIPlot(s.Columns[0], s.Columns[1], 64, 12))
-			}
 		}
 		fmt.Fprintf(&summary, "## %s — %s\n\n", a.ID, a.Title)
 		for _, n := range a.Notes {
@@ -96,8 +77,8 @@ func main() {
 		}
 		summary.WriteString("\n")
 		fmt.Printf("   wrote %s (%d tables, %d series) in %v\n",
-			dir, len(a.Tables), len(a.Series), time.Since(start).Round(time.Millisecond))
-	}
+			dir, len(a.Tables), len(a.Series), r.Elapsed.Round(time.Millisecond))
+	})
 	notesFile := filepath.Join(*out, "NOTES.md")
 	if err := os.WriteFile(notesFile, []byte(summary.String()), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
@@ -109,4 +90,34 @@ func main() {
 			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
 	}
+}
+
+// writeArtifact renders one artifact's tables and series under dir.
+func writeArtifact(dir string, a *experiments.Artifact, verbose bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tb := range a.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("table%d.txt", i))
+		if err := os.WriteFile(name, []byte(tb.String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(name[:len(name)-4]+".csv", []byte(tb.CSV()), 0o644); err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Println(tb.String())
+		}
+	}
+	for _, s := range a.Series {
+		name := filepath.Join(dir, s.Title+".csv")
+		if err := os.WriteFile(name, []byte(s.CSV()), 0o644); err != nil {
+			return err
+		}
+		if verbose && len(s.Columns) >= 2 && len(s.Rows) > 1 {
+			// Quick-look shape check in the terminal.
+			fmt.Println(s.ASCIIPlot(s.Columns[0], s.Columns[1], 64, 12))
+		}
+	}
+	return nil
 }

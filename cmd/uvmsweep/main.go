@@ -3,20 +3,26 @@
 // uvmsim. Sweeps cover batch size, prefetching, capacity (oversubscription
 // ratio), and eviction policy.
 //
+// Grid points run on a worker pool (-jobs, default GOMAXPROCS); each
+// point drives its own simulation engine and rows are emitted in grid
+// order, so the CSV is byte-identical at any -jobs value.
+//
 // Usage:
 //
 //	uvmsweep -workload gauss-seidel -n 3072 > sweep.csv
-//	uvmsweep -workload stream -mb 16 -batches 128,256,1024 -caps 24,32,64
+//	uvmsweep -workload stream -mb 16 -batches 128,256,1024 -caps 24,32,64 -jobs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"guvm"
+	"guvm/internal/experiments"
 	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
@@ -64,6 +70,7 @@ func main() {
 		prefetch = flag.String("prefetch", "on,off", "prefetch settings to sweep (on,off)")
 		policies = flag.String("evict", "lru", "eviction policies to sweep (lru,fifo,random,lfu)")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
 	)
 	flag.Parse()
 
@@ -87,7 +94,14 @@ func main() {
 		"random": uvm.EvictRandom, "lfu": uvm.EvictLFU,
 	}
 
-	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
+	// Expand the grid up front (validating every policy name before any
+	// simulation runs), then fan the independent points out on the pool.
+	type point struct {
+		bs, capMB int
+		pfOn      bool
+		policy    uvm.EvictionPolicy
+	}
+	var grid []point
 	for _, bs := range batchList {
 		for _, capMB := range capList {
 			for _, pf := range strings.Split(*prefetch, ",") {
@@ -98,33 +112,47 @@ func main() {
 						fmt.Fprintf(os.Stderr, "uvmsweep: unknown policy %q\n", pol)
 						os.Exit(2)
 					}
-					cfg := guvm.DefaultConfig()
-					cfg.Driver.BatchSize = bs
-					cfg.Driver.GPUMemBytes = uint64(capMB) << 20
-					cfg.Driver.PrefetchEnabled = pfOn
-					cfg.Driver.Upgrade64K = pfOn
-					cfg.Driver.Eviction = policy
-					cfg.Audit.Enabled = *auditOn
-					cfg.Audit.Interval = 1
-					s, err := guvm.NewSimulator(cfg)
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
-						os.Exit(1)
-					}
-					res, err := s.Run(mk())
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "uvmsweep: %s bs=%d cap=%d: %v\n", *name, bs, capMB, err)
-						os.Exit(1)
-					}
-					fmt.Printf("%s,%d,%d,%v,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d\n",
-						res.Workload, bs, capMB, pfOn, policy,
-						res.KernelTime.Millis(), res.BatchTime().Millis(),
-						len(res.Batches), res.DriverStats.TotalFaults,
-						res.DriverStats.Evictions,
-						float64(res.BytesMigrated())/(1<<20),
-						res.DriverStats.PrefetchedPages)
+					grid = append(grid, point{bs, capMB, pfOn, policy})
 				}
 			}
 		}
 	}
+
+	type outcome struct {
+		row string
+		err error
+	}
+	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
+	experiments.ForEachOrdered(len(grid), *jobs, func(i int) outcome {
+		p := grid[i]
+		cfg := guvm.DefaultConfig()
+		cfg.Driver.BatchSize = p.bs
+		cfg.Driver.GPUMemBytes = uint64(p.capMB) << 20
+		cfg.Driver.PrefetchEnabled = p.pfOn
+		cfg.Driver.Upgrade64K = p.pfOn
+		cfg.Driver.Eviction = p.policy
+		cfg.Audit.Enabled = *auditOn
+		cfg.Audit.Interval = 1
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			return outcome{err: err}
+		}
+		res, err := s.Run(mk())
+		if err != nil {
+			return outcome{err: fmt.Errorf("%s bs=%d cap=%d: %w", *name, p.bs, p.capMB, err)}
+		}
+		return outcome{row: fmt.Sprintf("%s,%d,%d,%v,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d",
+			res.Workload, p.bs, p.capMB, p.pfOn, p.policy,
+			res.KernelTime.Millis(), res.BatchTime().Millis(),
+			len(res.Batches), res.DriverStats.TotalFaults,
+			res.DriverStats.Evictions,
+			float64(res.BytesMigrated())/(1<<20),
+			res.DriverStats.PrefetchedPages)}
+	}, func(_ int, o outcome) {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", o.err)
+			os.Exit(1)
+		}
+		fmt.Println(o.row)
+	})
 }

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+)
+
+// RunResult is the outcome of one generator under the parallel runner.
+type RunResult struct {
+	Index    int
+	Gen      Generator
+	Artifact *Artifact
+	Err      error
+	// Elapsed is the wall-clock run time of the generator alone (it
+	// excludes time spent queued behind a busy worker pool).
+	Elapsed time.Duration
+}
+
+// RunParallel executes gens on up to jobs workers and delivers each
+// result to collect in generator order, whatever order they finish in.
+// jobs <= 0 means GOMAXPROCS.
+//
+// Determinism contract: every generator drives its own sim.Engine, so
+// runs are independent; the only cross-generator state is the
+// single-flight memo caches (see singleflight.go), which compute a value
+// once and share it read-only. Collection in index order therefore makes
+// the artifact stream — and anything written from it — byte-identical at
+// any jobs value. collect runs on the calling goroutine.
+func RunParallel(gens []Generator, jobs int, collect func(RunResult)) {
+	ForEachOrdered(len(gens), jobs, func(i int) RunResult {
+		start := time.Now()
+		a, err := gens[i].Run()
+		return RunResult{
+			Index:    i,
+			Gen:      gens[i],
+			Artifact: a,
+			Err:      err,
+			Elapsed:  time.Since(start),
+		}
+	}, func(_ int, r RunResult) { collect(r) })
+}
+
+// ForEachOrdered runs fn(0..n-1) on up to jobs workers, delivering
+// results to collect in index order on the calling goroutine. It is the
+// generic fan-out/ordered-collect primitive behind RunParallel, also used
+// by cmd/uvmsweep for its parameter grid. jobs <= 0 means GOMAXPROCS;
+// jobs == 1 degenerates to a plain sequential loop.
+func ForEachOrdered[T any](n, jobs int, fn func(int) T, collect func(int, T)) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			collect(i, fn(i))
+		}
+		return
+	}
+
+	// Workers pull indices from feed and post into per-index slots, so a
+	// fast worker never blocks on a slow predecessor and the collector
+	// waits on exactly the next index it needs.
+	feed := make(chan int)
+	slots := make([]chan T, n)
+	for i := range slots {
+		slots[i] = make(chan T, 1)
+	}
+	for w := 0; w < jobs; w++ {
+		go func() {
+			for i := range feed {
+				slots[i] <- fn(i)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			feed <- i
+		}
+		close(feed)
+	}()
+	for i := 0; i < n; i++ {
+		collect(i, <-slots[i])
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "sync"
+
+// memo is a concurrency-safe, single-flight memoization cell. The first
+// caller of Do computes the value while concurrent callers block on the
+// same in-flight computation; once it completes successfully, every later
+// Do returns the cached value without calling fn. A failed computation is
+// not cached, so a retry starts clean. The cached value is shared across
+// callers and must be treated as immutable.
+//
+// All package-level memo state in this package must live in a memo (and
+// be wired into ResetCache): parallel generators share these caches, and
+// bare package variables were a data race under the worker pool.
+type memo[T any] struct {
+	mu   sync.Mutex
+	call *memoCall[T]
+}
+
+type memoCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Do returns the memoized value, computing it via fn at most once per
+// cache generation (Reset starts a new generation). Callers that joined
+// an in-flight computation before a Reset still receive that
+// computation's result.
+func (m *memo[T]) Do(fn func() (T, error)) (T, error) {
+	m.mu.Lock()
+	c := m.call
+	if c != nil {
+		m.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c = &memoCall[T]{done: make(chan struct{})}
+	m.call = c
+	m.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		m.mu.Lock()
+		if m.call == c {
+			m.call = nil
+		}
+		m.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// Reset discards the cached value. Safe to call concurrently with Do; an
+// in-flight computation completes and serves its joined waiters, but new
+// Do calls recompute.
+func (m *memo[T]) Reset() {
+	m.mu.Lock()
+	m.call = nil
+	m.mu.Unlock()
+}

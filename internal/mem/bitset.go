@@ -72,6 +72,20 @@ func (s *PageSet) Subtract(o *PageSet) {
 	}
 }
 
+// Pages appends the PageIDs of all marked pages of block b, ascending, to
+// dst and returns it — Indices fused with VABlockID.PageAt for hot paths
+// that stage page lists into reusable buffers.
+func (s *PageSet) Pages(dst []PageID, b VABlockID) []PageID {
+	for wi, w := range s {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, b.PageAt(wi*64+bit))
+			w &^= 1 << uint(bit)
+		}
+	}
+	return dst
+}
+
 // Indices appends the indices of all marked pages, ascending, to dst and
 // returns it.
 func (s *PageSet) Indices(dst []int) []int {

@@ -95,15 +95,23 @@ func CoalescePages(pages []PageID) []Span {
 	if len(pages) == 0 {
 		return nil
 	}
-	spans := make([]Span, 0, 8)
+	return CoalescePagesInto(make([]Span, 0, 8), pages)
+}
+
+// CoalescePagesInto is CoalescePages appending into dst, so hot paths can
+// reuse a scratch buffer instead of allocating per call.
+func CoalescePagesInto(dst []Span, pages []PageID) []Span {
+	if len(pages) == 0 {
+		return dst
+	}
 	cur := Span{First: pages[0], Count: 1}
 	for _, p := range pages[1:] {
 		if p == cur.First+PageID(cur.Count) {
 			cur.Count++
 			continue
 		}
-		spans = append(spans, cur)
+		dst = append(dst, cur)
 		cur = Span{First: p, Count: 1}
 	}
-	return append(spans, cur)
+	return append(dst, cur)
 }

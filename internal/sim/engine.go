@@ -78,6 +78,9 @@ type Engine struct {
 	// rescheduling itself with zero delay never advances the clock, and
 	// this watchdog catches it long before MaxEvents would.
 	MaxStallEvents uint64
+	// free recycles dispatched event structs so steady-state scheduling
+	// allocates nothing. It grows to the peak number of pending events.
+	free []*event
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -109,7 +112,23 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.pq, ev)
+}
+
+// recycle returns a popped event to the free list. The callback reference
+// is dropped so recycled events never pin dead closures.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -189,7 +208,9 @@ func (e *Engine) Run() (Time, error) {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
 		ev := heap.Pop(&e.pq).(*event)
-		if !e.dispatch(ev) {
+		ok := e.dispatch(ev)
+		e.recycle(ev)
+		if !ok {
 			break
 		}
 	}
@@ -198,7 +219,9 @@ func (e *Engine) Run() (Time, error) {
 
 // RunUntil dispatches events with timestamps <= deadline and then returns.
 // Events beyond the deadline remain queued; the clock is left at the later
-// of its current value and the deadline.
+// of its current value and the deadline. A run aborted by Fail or a
+// watchdog leaves the clock at the failure instant instead, so failure
+// diagnostics (e.g. LivelockError.At) and Now agree.
 func (e *Engine) RunUntil(deadline Time) (Time, error) {
 	if e.err != nil {
 		return e.now, e.err
@@ -206,11 +229,13 @@ func (e *Engine) RunUntil(deadline Time) (Time, error) {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped && e.pq[0].at <= deadline {
 		ev := heap.Pop(&e.pq).(*event)
-		if !e.dispatch(ev) {
+		ok := e.dispatch(ev)
+		e.recycle(ev)
+		if !ok {
 			break
 		}
 	}
-	if e.now < deadline {
+	if e.err == nil && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now, e.err

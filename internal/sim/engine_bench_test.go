@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineDispatch measures the steady-state cost of the engine's
+// schedule/pop/dispatch cycle with a realistic number of outstanding
+// events. Each op is one event dispatch; -benchmem exposes the per-event
+// allocation behaviour the event free list is meant to eliminate.
+func BenchmarkEngineDispatch(b *testing.B) {
+	const outstanding = 64
+	e := NewEngine()
+	remaining := b.N
+	tick := func(self *func()) func() {
+		return func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			e.Schedule(Microsecond, *self)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < outstanding; i++ {
+		var fn func()
+		fn = tick(&fn)
+		e.Schedule(Time(i), fn)
+	}
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

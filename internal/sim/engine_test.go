@@ -133,6 +133,41 @@ func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
 	}
 }
 
+// Regression: RunUntil used to advance the clock to the deadline even
+// after Fail or a watchdog aborted dispatch mid-run, so the failure
+// diagnostics (LivelockError.At) and the engine clock disagreed.
+func TestEngineRunUntilFailureLeavesClockAtFailureInstant(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("boom")
+	e.Schedule(100, func() { e.Fail(boom) })
+	now, err := e.RunUntil(1000)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if now != 100 || e.Now() != 100 {
+		t.Fatalf("clock = %d (returned %d), want 100 (failure instant)", e.Now(), now)
+	}
+}
+
+func TestEngineRunUntilWatchdogLeavesClockAtStallInstant(t *testing.T) {
+	e := NewEngine()
+	e.MaxStallEvents = 20
+	var spin func()
+	spin = func() { e.Schedule(0, spin) } // never advances the clock
+	e.Schedule(40, spin)
+	now, err := e.RunUntil(1000)
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("err %T is not *LivelockError", err)
+	}
+	if now != 40 || le.At != now {
+		t.Fatalf("clock = %d, LivelockError.At = %d; want both 40 (stall instant)", now, le.At)
+	}
+}
+
 func TestEngineMaxEventsBackstop(t *testing.T) {
 	e := NewEngine()
 	e.MaxEvents = 10

@@ -1,0 +1,37 @@
+package uvm
+
+import (
+	"testing"
+
+	"guvm/internal/mem"
+)
+
+// BenchmarkBatchService measures the driver's whole batch-servicing
+// pipeline: a streaming kernel over 16 MB forces ~2 pages per fault batch
+// slot, so each op services dozens of 256-fault batches end to end
+// (dedup, grouping, allocation, DMA setup, migration, replay). Run with
+// -benchmem: the per-batch map/slice and per-event allocations are what
+// the hot-path allocation diet targets.
+func BenchmarkBatchService(b *testing.B) {
+	const bytes = 16 << 20
+	nPages := int(bytes / mem.PageSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, drv, dev := newSystem(smallGPU(), noPrefetch())
+		base := drv.Alloc(bytes)
+		k := streamKernel(base, nPages)
+		done := false
+		if err := dev.LaunchKernel(k, func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("kernel never completed")
+		}
+		if drv.Stats().Batches == 0 {
+			b.Fatal("no batches serviced")
+		}
+	}
+}

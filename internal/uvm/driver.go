@@ -78,6 +78,59 @@ type allocSpan struct {
 	first, last mem.VABlockID // inclusive
 }
 
+// batchScratch holds the per-batch working structures of the fault
+// servicing pipeline. serviceBatch used to rebuild all of them for every
+// 256-fault batch, which dominated the hot path's allocation profile;
+// instead they are pooled here and cleared (never carried over, never
+// shared) at the start of each batch. Nothing in a batch record may alias
+// these buffers — everything retained by the trace.Collector is copied.
+type batchScratch struct {
+	// seen maps each unique faulted page to the µTLB of its first fault,
+	// for duplicate classification (§4.2).
+	seen map[mem.PageID]int
+	// rawPerBlock counts raw (duplicate-inclusive) faults per VABlock.
+	rawPerBlock map[mem.VABlockID]int
+	// inThisBatch marks VABlocks being serviced by the current batch, so
+	// eviction avoids immediately re-faulting victims.
+	inThisBatch map[mem.VABlockID]bool
+	// uniq collects deduplicated pages; nonStale is uniq minus
+	// already-resident pages, sorted, so per-VABlock groups are
+	// contiguous runs and need no map.
+	uniq     []mem.PageID
+	nonStale []mem.PageID
+	// blockOrder lists serviced VABlocks in ascending order.
+	blockOrder []mem.VABlockID
+	rawBlocks  []mem.VABlockID
+	blockCosts []sim.Time
+	// pageIdx/migrate/spans are serviceBlock's migration staging;
+	// evictPages/evictSpans are evictOne's writeback staging (a separate
+	// pair because evictions fire while a block's migration list is
+	// being staged is impossible today, but the split keeps the
+	// lifetimes trivially disjoint).
+	pageIdx    []int
+	migrate    []mem.PageID
+	spans      []mem.Span
+	evictPages []mem.PageID
+	evictSpans []mem.Span
+}
+
+// reset clears every buffer for a new batch, keeping capacity.
+func (sc *batchScratch) reset(faults int) {
+	if sc.seen == nil {
+		sc.seen = make(map[mem.PageID]int, faults)
+		sc.rawPerBlock = make(map[mem.VABlockID]int)
+		sc.inThisBatch = make(map[mem.VABlockID]bool)
+	}
+	clear(sc.seen)
+	clear(sc.rawPerBlock)
+	clear(sc.inThisBatch)
+	sc.uniq = sc.uniq[:0]
+	sc.nonStale = sc.nonStale[:0]
+	sc.blockOrder = sc.blockOrder[:0]
+	sc.rawBlocks = sc.rawBlocks[:0]
+	sc.blockCosts = sc.blockCosts[:0]
+}
+
 // Driver is the modeled nvidia-uvm driver: one worker servicing the fault
 // buffer of one device, backed by the host OS and the interconnect.
 type Driver struct {
@@ -114,6 +167,10 @@ type Driver struct {
 	// subsystem's per-batch hook). It runs after the batch record lands
 	// in the Collector and before the next batch starts.
 	onBatch func(id int, rec *trace.BatchRecord)
+
+	// scratch is the pooled per-batch working state; batches never
+	// overlap on one driver (inBatch guards), so reuse is safe.
+	scratch batchScratch
 
 	Collector *trace.Collector
 	stats     Stats
@@ -384,62 +441,54 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	}
 
 	// --- Dedup (§4.2): classify duplicates by µTLB of origin. ---
-	type pageInfo struct {
-		firstUTLB int
-		count     int
-	}
-	seen := make(map[mem.PageID]*pageInfo, len(faults))
-	var uniq []mem.PageID
+	sc := &d.scratch
+	sc.reset(len(faults))
 	for _, f := range faults {
 		rec.FaultsPerSM[f.SM]++
-		if pi, ok := seen[f.Page]; ok {
-			pi.count++
-			if f.UTLB == pi.firstUTLB {
+		if firstUTLB, ok := sc.seen[f.Page]; ok {
+			if f.UTLB == firstUTLB {
 				rec.Type1Dups++
 			} else {
 				rec.Type2Dups++
 			}
 			continue
 		}
-		seen[f.Page] = &pageInfo{firstUTLB: f.UTLB}
-		uniq = append(uniq, f.Page)
+		sc.seen[f.Page] = f.UTLB
+		sc.uniq = append(sc.uniq, f.Page)
 	}
 	rec.TDedup = sim.Time(len(faults)) * d.cfg.Costs.DedupPerFault
-	rec.UniquePages = len(uniq)
+	rec.UniquePages = len(sc.uniq)
 
 	// Group unique, non-stale pages by VABlock, in ascending order: the
 	// driver processes all batch faults within one VABlock together.
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
-	perBlock := make(map[mem.VABlockID][]mem.PageID)
-	var blockOrder []mem.VABlockID
-	for _, p := range uniq {
+	// Sorted pages make each VABlock's group a contiguous run of
+	// nonStale, so no per-block map is needed.
+	sort.Slice(sc.uniq, func(i, j int) bool { return sc.uniq[i] < sc.uniq[j] })
+	for _, p := range sc.uniq {
 		if d.IsResidentOnGPU(p) {
 			rec.StalePages++
 			d.stats.StaleFaults++
 			continue
 		}
-		b := p.VABlock()
-		if _, ok := perBlock[b]; !ok {
-			blockOrder = append(blockOrder, b)
+		if b := p.VABlock(); len(sc.blockOrder) == 0 || sc.blockOrder[len(sc.blockOrder)-1] != b {
+			sc.blockOrder = append(sc.blockOrder, b)
 		}
-		perBlock[b] = append(perBlock[b], p)
+		sc.nonStale = append(sc.nonStale, p)
 	}
-	rec.VABlocks = len(blockOrder)
+	rec.VABlocks = len(sc.blockOrder)
 
 	// Raw fault distribution over VABlocks (Table 3): counts include
 	// duplicates, in ascending block order.
-	rawPerBlock := make(map[mem.VABlockID]int)
 	for _, f := range faults {
-		rawPerBlock[f.Page.VABlock()]++
+		sc.rawPerBlock[f.Page.VABlock()]++
 	}
-	var rawBlocks []mem.VABlockID
-	for b := range rawPerBlock {
-		rawBlocks = append(rawBlocks, b)
+	for b := range sc.rawPerBlock {
+		sc.rawBlocks = append(sc.rawBlocks, b)
 	}
-	sort.Slice(rawBlocks, func(i, j int) bool { return rawBlocks[i] < rawBlocks[j] })
-	rec.VABlockFaults = make([]uint16, len(rawBlocks))
-	for i, b := range rawBlocks {
-		n := rawPerBlock[b]
+	sort.Slice(sc.rawBlocks, func(i, j int) bool { return sc.rawBlocks[i] < sc.rawBlocks[j] })
+	rec.VABlockFaults = make([]uint16, len(sc.rawBlocks))
+	for i, b := range sc.rawBlocks {
+		n := sc.rawPerBlock[b]
 		if n > 65535 {
 			n = 65535
 		}
@@ -447,36 +496,40 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	}
 
 	// --- Per-VABlock servicing. ---
-	inThisBatch := make(map[mem.VABlockID]bool, len(blockOrder))
-	for _, bid := range blockOrder {
-		inThisBatch[bid] = true
+	for _, bid := range sc.blockOrder {
+		sc.inThisBatch[bid] = true
 	}
-	rec.ServicedBlocks = append(rec.ServicedBlocks, blockOrder...)
+	rec.ServicedBlocks = append(rec.ServicedBlocks, sc.blockOrder...)
 	var total sim.Time
 	total += d.cfg.Costs.BatchSetup + tFetch + rec.TDedup
-	blockCosts := make([]sim.Time, 0, len(blockOrder))
-	for _, bid := range blockOrder {
-		c, err := d.serviceBlock(bid, perBlock[bid], inThisBatch, &rec)
+	for lo := 0; lo < len(sc.nonStale); {
+		bid := sc.nonStale[lo].VABlock()
+		hi := lo + 1
+		for hi < len(sc.nonStale) && sc.nonStale[hi].VABlock() == bid {
+			hi++
+		}
+		c, err := d.serviceBlock(bid, sc.nonStale[lo:hi], sc.inThisBatch, &rec)
 		if err != nil {
 			d.fail(err)
 			return
 		}
-		blockCosts = append(blockCosts, c)
+		sc.blockCosts = append(sc.blockCosts, c)
+		lo = hi
 	}
 	// Cross-VABlock prefetch (§6 extension): eagerly migrate blocks
 	// following fully-resident faulting blocks.
 	if d.cfg.CrossBlockPrefetch > 0 {
-		cs, err := d.crossBlockPrefetch(blockOrder, inThisBatch, &rec)
+		cs, err := d.crossBlockPrefetch(sc.blockOrder, sc.inThisBatch, &rec)
 		if err != nil {
 			d.fail(err)
 			return
 		}
-		blockCosts = append(blockCosts, cs...)
+		sc.blockCosts = append(sc.blockCosts, cs...)
 	}
 	// The shipped driver services blocks serially; with ServiceWorkers
 	// > 1 the batch's block time is the parallel makespan (§6's proposed
 	// parallelization — imbalance across VABlocks limits the gain).
-	total += makespan(blockCosts, d.cfg.ServiceWorkers, d.cfg.LoadBalanceLPT, d.cfg.WorkerSync)
+	total += makespan(sc.blockCosts, d.cfg.ServiceWorkers, d.cfg.LoadBalanceLPT, d.cfg.WorkerSync)
 
 	// --- Replay. ---
 	rec.TReplay = d.cfg.Costs.ReplayCost
@@ -594,13 +647,18 @@ func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch
 		}
 	}
 
-	// Migration: coalesce into spans and move over the link.
-	idx := toMigrate.Indices(nil)
-	migrating := make([]mem.PageID, len(idx))
-	for i, pi := range idx {
-		migrating[i] = bid.PageAt(pi)
+	// Migration: coalesce into spans and move over the link. The staging
+	// buffers are batch scratch: nothing below retains them (the record
+	// copies span values), and no eviction can fire past this point.
+	sc := &d.scratch
+	sc.pageIdx = toMigrate.Indices(sc.pageIdx[:0])
+	sc.migrate = sc.migrate[:0]
+	for _, pi := range sc.pageIdx {
+		sc.migrate = append(sc.migrate, bid.PageAt(pi))
 	}
-	spans := mem.CoalescePages(migrating)
+	migrating := sc.migrate
+	spans := mem.CoalescePagesInto(sc.spans[:0], migrating)
+	sc.spans = spans
 	t, err := d.transferWithRetry(bid, spans, rec)
 	cost += t
 	if err != nil {
@@ -775,19 +833,17 @@ func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]b
 	}
 
 	cost := d.cfg.Costs.EvictBase
-	residentIdx := victim.resident.Indices(nil)
-	if len(residentIdx) > 0 {
+	sc := &d.scratch
+	sc.evictPages = victim.resident.Pages(sc.evictPages[:0], victim.id)
+	if len(sc.evictPages) > 0 {
 		// Write back resident pages to the host. The data lands in
 		// host memory but is NOT remapped to the CPU: a later GPU
 		// re-fetch pays no unmap cost (Figure 13's cost levels).
-		pages := make([]mem.PageID, len(residentIdx))
-		for i, pi := range residentIdx {
-			pages[i] = victim.id.PageAt(pi)
-		}
-		spans := mem.CoalescePages(pages)
+		spans := mem.CoalescePagesInto(sc.evictSpans[:0], sc.evictPages)
+		sc.evictSpans = spans
 		cost += d.link.TransferSpans(spans, false)
-		cost += sim.Time(len(residentIdx)) * d.cfg.Costs.EvictPerPage
-		rec.EvictedBytes += uint64(len(residentIdx)) * mem.PageSize
+		cost += sim.Time(len(sc.evictPages)) * d.cfg.Costs.EvictPerPage
+		rec.EvictedBytes += uint64(len(sc.evictPages)) * mem.PageSize
 	}
 	victim.resident.Reset()
 	victim.hasChunk = false

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Hot-path microbenchmark harness. Runs the two allocation-diet
+# benchmarks — BenchmarkBatchService (the driver's whole fault-servicing
+# pipeline, internal/uvm) and BenchmarkEngineDispatch (the event loop,
+# internal/sim) — with -benchmem and writes a JSON report holding the
+# measured ns/op, B/op and allocs/op next to the frozen pre-PR3 baseline,
+# so every PR from here on has a performance trajectory to compare
+# against (the PR3 acceptance bar was >= 30% fewer allocs/op on
+# BenchmarkBatchService than the baseline below).
+#
+# Usage: scripts/bench.sh [-quick] [-out BENCH_pr3.json]
+#   -quick   CI smoke mode: one benchmark iteration each, just enough to
+#            prove the benchmarks run and the JSON pipeline works.
+set -eu
+
+out=BENCH_pr3.json
+benchtime=2s
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -quick) benchtime=1x ;;
+    -out) shift; out=$1 ;;
+    *) echo "usage: scripts/bench.sh [-quick] [-out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkBatchService$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkEngineDispatch$' -benchmem -benchtime "$benchtime" ./internal/sim | tee -a "$raw"
+
+# Fold "BenchmarkName[-P] N ns/op B/op allocs/op" lines into JSON fields,
+# pairing them with the frozen pre-PR3 numbers (recorded on the pre-diet
+# tree with -benchtime 2s).
+awk -v quick="$benchtime" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    measured[name] = sprintf("{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $3, $5, $7)
+    order[n++] = name
+  }
+  END {
+    baseline["BenchmarkBatchService"]   = "{\"ns_per_op\": 7631494, \"bytes_per_op\": 3012876, \"allocs_per_op\": 61032}"
+    baseline["BenchmarkEngineDispatch"] = "{\"ns_per_op\": 141.0, \"bytes_per_op\": 24, \"allocs_per_op\": 1}"
+    printf "{\n  \"pr\": 3,\n  \"benchtime\": \"%s\",\n", quick
+    printf "  \"baseline_pre_pr3\": {\n"
+    printf "    \"BenchmarkBatchService\": %s,\n", baseline["BenchmarkBatchService"]
+    printf "    \"BenchmarkEngineDispatch\": %s\n  },\n", baseline["BenchmarkEngineDispatch"]
+    printf "  \"measured\": {\n"
+    for (i = 0; i < n; i++) {
+      printf "    \"%s\": %s%s\n", order[i], measured[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  }\n}\n"
+  }
+' "$raw" > "$out"
+echo "wrote $out"
