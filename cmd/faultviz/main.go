@@ -16,12 +16,14 @@ import (
 
 	"guvm"
 	"guvm/internal/mem"
+	"guvm/internal/obs"
 	"guvm/internal/workloads"
 )
 
 func main() {
 	prefetch := flag.Bool("prefetch", false, "run the prefetch-instruction kernel (Figure 5)")
 	auditOn := flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of batch/phase spans to this file")
 	flag.Parse()
 
 	cfg := guvm.DefaultConfig()
@@ -30,6 +32,7 @@ func main() {
 	cfg.KeepFaults = true
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = 1
+	cfg.Obs.Trace = *traceOut != ""
 
 	var w workloads.Workload
 	if *prefetch {
@@ -74,4 +77,18 @@ func main() {
 	fmt.Printf("\nkernel %.1f us, %d batches, %d faults fetched, %d re-faults\n",
 		res.KernelTime.Micros(), len(res.Batches),
 		res.DriverStats.TotalFaults, res.DeviceStats.Refaults)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, s.Obs.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace spans to %s\n", len(s.Obs.Tracer.Spans()), *traceOut)
+	}
 }

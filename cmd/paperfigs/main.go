@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"guvm/internal/experiments"
+	"guvm/internal/obs"
+	"guvm/internal/sim"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	verbose := flag.Bool("v", false, "print tables and notes to stdout")
+	traceOut := flag.String("trace-out", "", "write a wall-clock Chrome trace of the experiment harness (one lane per experiment) to this file")
 	flag.Parse()
 
 	var gens []experiments.Generator
@@ -50,10 +53,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Optional harness trace: one wall-clock span per experiment, placed
+	// at [collection-elapsed, collection] relative to program start. The
+	// collect callback runs in experiment order on the main goroutine, so
+	// span placement is approximate for experiments that finished while an
+	// earlier one was still pending collection.
+	var harness *obs.Tracer
+	progStart := time.Now()
+	if *traceOut != "" {
+		harness = obs.NewTracer()
+		harness.Lanes = map[int]string{}
+	}
+
 	var summary strings.Builder
 	var failed []string
 	experiments.RunParallel(gens, *jobs, func(r experiments.RunResult) {
 		fmt.Printf("== %s: %s\n", r.Gen.ID, r.Gen.Title)
+		if harness != nil {
+			end := sim.Time(time.Since(progStart).Nanoseconds())
+			start := end - sim.Time(r.Elapsed.Nanoseconds())
+			if start < 0 {
+				start = 0
+			}
+			lane := r.Index + 1
+			harness.Lanes[lane] = r.Gen.ID
+			harness.Add(lane, "experiment", r.Gen.ID, start, end-start, r.Index)
+		}
 		if r.Err != nil {
 			// One broken experiment must not take down the sweep: record
 			// it, keep going, and exit non-zero at the end.
@@ -85,6 +110,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("== summary notes: %s\n", notesFile)
+	if harness != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, harness); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("== harness trace: %s (%d experiments)\n", *traceOut, len(harness.Spans()))
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d experiment(s) failed: %s\n",
 			len(failed), strings.Join(failed, ", "))

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"guvm"
 	"guvm/internal/analysis"
+	"guvm/internal/obs"
 	"guvm/internal/stats"
 	"guvm/internal/trace"
 	"guvm/internal/uvm"
@@ -87,7 +89,18 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print post-run telemetry analysis")
 		traceFile  = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
 		csvOut     = flag.String("csv", "", "write per-batch records as CSV to this file")
+		csvInject  = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
 		faultsOut  = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
+
+		// Observability (internal/obs): span tracing, metric sampling, and
+		// the opt-in live HTTP endpoint. All off by default.
+		traceOut        = flag.String("trace-out", "", "write a Chrome trace_event JSON of batch/phase spans to this file")
+		traceEngine     = flag.Bool("trace-engine", false, "also mark every engine dispatch in the trace (with -trace-out; capped)")
+		metricsCSV      = flag.String("metrics-csv", "", "write the sampled metric time series as CSV to this file")
+		metricsJSON     = flag.String("metrics-json", "", "write the sampled metric time series as JSON to this file")
+		metricsInterval = flag.Int("metrics-interval", 1, "sample metrics every Nth batch (with -metrics-csv/-metrics-json/-metrics-addr)")
+		metricsAddr     = flag.String("metrics-addr", "", "serve live /metrics, /status and pprof on this address (e.g. 127.0.0.1:9090; port 0 picks one)")
+		metricsHold     = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes")
 
 		// Deterministic fault injection (all rates default to 0 = off).
 		injSeed        = flag.Uint64("inject-seed", 1, "fault-injection RNG seed")
@@ -161,6 +174,11 @@ func main() {
 	cfg.Inject.HostAllocMaxRetries = *injHostRetries
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = *auditInterval
+	cfg.Obs.Trace = *traceOut != ""
+	cfg.Obs.EngineEvents = *traceEngine
+	if *metricsCSV != "" || *metricsJSON != "" || *metricsAddr != "" {
+		cfg.Obs.SampleInterval = *metricsInterval
+	}
 
 	if *verifyDet {
 		if *explicit {
@@ -187,6 +205,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 		os.Exit(2)
+	}
+	var metricsSrv *obs.Server
+	if *metricsAddr != "" {
+		metricsSrv, err = obs.Serve(*metricsAddr, sim.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics: serving on %s\n", metricsSrv.Addr())
 	}
 	var res *guvm.Result
 	if *explicit {
@@ -248,7 +275,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := trace.WriteBatchesCSV(f, res.Batches); err != nil {
+		if err := trace.WriteBatchesCSVWith(f, res.Batches, *csvInject); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -267,6 +294,45 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %d fault records to %s\n", len(res.Faults), *faultsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, sim.Obs.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace spans to %s\n", len(sim.Obs.Tracer.Spans()), *traceOut)
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sim.Obs.Sampler.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d metric samples to %s\n", len(sim.Obs.Sampler.Rows()), *metricsCSV)
+	}
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sim.Obs.Sampler.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d metric samples to %s\n", len(sim.Obs.Sampler.Rows()), *metricsJSON)
 	}
 
 	if *analyze && len(res.Batches) > 0 {
@@ -300,5 +366,13 @@ func main() {
 				b.PrefetchedPages, b.Evictions,
 				float64(b.TUnmap)/1000, float64(b.TDMAMap)/1000)
 		}
+	}
+
+	if metricsSrv != nil {
+		if *metricsHold > 0 {
+			fmt.Printf("metrics: holding endpoint for %s\n", *metricsHold)
+			time.Sleep(*metricsHold)
+		}
+		metricsSrv.Close()
 	}
 }

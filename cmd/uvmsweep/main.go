@@ -23,6 +23,7 @@ import (
 
 	"guvm"
 	"guvm/internal/experiments"
+	"guvm/internal/obs"
 	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
@@ -71,6 +72,7 @@ func main() {
 		policies = flag.String("evict", "lru", "eviction policies to sweep (lru,fifo,random,lfu)")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
+		addr     = flag.String("metrics-addr", "", "serve live sweep progress (/metrics, /status, pprof) on this address")
 	)
 	flag.Parse()
 
@@ -118,6 +120,30 @@ func main() {
 		}
 	}
 
+	// Opt-in live progress endpoint. Counters advance only in the ordered
+	// collect callback (main goroutine), so publishing never races the
+	// worker pool and the CSV stays byte-identical at any -jobs value.
+	var prog *obs.Observer
+	done := 0
+	if *addr != "" {
+		prog = obs.New(obs.Config{SampleInterval: 1})
+		total := prog.Registry.Gauge("guvm_sweep_points_total", "Grid points in this sweep")
+		total.Set(float64(len(grid)))
+		prog.Registry.Func("guvm_sweep_points_done_total", "Grid points completed",
+			func() float64 { return float64(done) })
+		prog.SetStatusFunc(func() any {
+			return map[string]any{"workload": *name, "points": len(grid), "done": done}
+		})
+		prog.Publish()
+		srv, err := obs.Serve(*addr, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving on %s\n", srv.Addr())
+	}
+
 	type outcome struct {
 		row string
 		err error
@@ -154,5 +180,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(o.row)
+		if prog != nil {
+			done++
+			prog.Publish()
+		}
 	})
 }

@@ -27,6 +27,7 @@ import (
 	"guvm/internal/hostos"
 	"guvm/internal/interconnect"
 	"guvm/internal/mem"
+	"guvm/internal/obs"
 	"guvm/internal/sim"
 	"guvm/internal/trace"
 	"guvm/internal/uvm"
@@ -64,6 +65,10 @@ type SystemConfig struct {
 	// Audit configures the runtime invariant auditor. The zero value
 	// attaches no auditor and leaves the run unobserved.
 	Audit audit.Config
+	// Obs configures the observability layer (span tracing, metrics
+	// sampling). The zero value attaches nothing: no observer hooks, no
+	// instrumentation, zero cost on the fault-service path.
+	Obs obs.Config
 }
 
 // DefaultConfig returns the experiment-scale profile: a Titan-V-like GPU
@@ -148,6 +153,9 @@ type Simulator struct {
 	HostVM   *hostos.VM
 	Injector *faultinject.Injector
 	Auditor  *audit.Auditor
+	// Obs is the attached observer (nil unless SystemConfig.Obs is
+	// active). A nil observer is safe to call everywhere.
+	Obs *obs.Observer
 
 	used bool
 }
@@ -189,7 +197,95 @@ func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 		s.Auditor = audit.New(cfg.Audit, audit.Options{}, eng, drv, dev, vm, inj)
 		s.Auditor.Attach()
 	}
+	if cfg.Obs.Active() {
+		s.Obs = obs.New(cfg.Obs)
+		s.Obs.SetBatchSetupCost(cfg.Driver.Costs.BatchSetup)
+		s.registerMetrics()
+		drv.AddBatchObserver(s.Obs.OnBatch)
+		if cfg.Obs.Trace && cfg.Obs.EngineEvents {
+			eng.OnEvent = s.Obs.NoteEvent
+		}
+	}
 	return s, nil
+}
+
+// registerMetrics exposes every subsystem's counters as pull gauges over
+// the live component state. The functions run only at sample points on the
+// simulation goroutine (Stats() returns copies), so registration adds no
+// instrumentation to the fault-service hot path.
+func (s *Simulator) registerMetrics() {
+	r := s.Obs.Registry
+	r.Func("guvm_sim_time_ns", "Current virtual time in nanoseconds",
+		func() float64 { return float64(s.Engine.Now()) })
+	r.Func("guvm_engine_events_total", "Events dispatched by the simulation engine",
+		func() float64 { return float64(s.Engine.Executed()) })
+
+	r.Func("guvm_driver_batches_total", "Fault batches serviced",
+		func() float64 { return float64(s.Driver.Stats().Batches) })
+	r.Func("guvm_driver_faults_total", "Fault records fetched across batches",
+		func() float64 { return float64(s.Driver.Stats().TotalFaults) })
+	r.Func("guvm_driver_stale_faults_total", "Fetched faults already resident (stale duplicates)",
+		func() float64 { return float64(s.Driver.Stats().StaleFaults) })
+	r.Func("guvm_driver_evictions_total", "VABlock evictions under memory pressure",
+		func() float64 { return float64(s.Driver.Stats().Evictions) })
+	r.Func("guvm_driver_prefetched_pages_total", "Pages migrated by density prefetching",
+		func() float64 { return float64(s.Driver.Stats().PrefetchedPages) })
+	r.Func("guvm_driver_migrated_pages_total", "Pages migrated to the GPU on the fault path",
+		func() float64 { return float64(s.Driver.Stats().MigratedPages) })
+	r.Func("guvm_driver_wakeups_total", "Driver wakeups from fault-buffer interrupts",
+		func() float64 { return float64(s.Driver.Stats().WakeUps) })
+	r.Func("guvm_driver_batch_shrinks_total", "Effective-batch halvings under host allocation pressure",
+		func() float64 { return float64(s.Driver.Stats().BatchShrinks) })
+
+	r.Func("guvm_gpu_faults_emitted_total", "Fault records written to the fault buffer",
+		func() float64 { return float64(s.Device.Stats().FaultsEmitted) })
+	r.Func("guvm_gpu_dup_faults_total", "Fault records emitted while the page was already pending",
+		func() float64 { return float64(s.Device.Stats().DupFaults) })
+	r.Func("guvm_gpu_refaults_total", "Accesses re-faulted after an unserviced replay",
+		func() float64 { return float64(s.Device.Stats().Refaults) })
+	r.Func("guvm_gpu_throttle_stalls_total", "Issue attempts delayed by the SM rate throttle",
+		func() float64 { return float64(s.Device.Stats().ThrottleStalls) })
+	r.Func("guvm_gpu_utlb_full_stalls_total", "Warp stalls on µTLB capacity",
+		func() float64 { return float64(s.Device.Stats().UTLBFullStalls) })
+	r.Func("guvm_gpu_blocks_completed_total", "Thread blocks retired",
+		func() float64 { return float64(s.Device.Stats().BlocksCompleted) })
+
+	r.Func("guvm_host_unmap_calls_total", "unmap_mapping_range invocations",
+		func() float64 { return float64(s.HostVM.Stats().UnmapCalls) })
+	r.Func("guvm_host_pages_unmapped_total", "CPU PTEs torn down",
+		func() float64 { return float64(s.HostVM.Stats().PagesUnmapped) })
+	r.Func("guvm_host_pages_populated_total", "Host pages populated on the fault path",
+		func() float64 { return float64(s.HostVM.Stats().PagesPopulated) })
+	r.Func("guvm_host_dma_pages_mapped_total", "Reverse-DMA pages tracked in the radix tree",
+		func() float64 { return float64(s.HostVM.Stats().DMAPagesMapped) })
+	r.Func("guvm_host_radix_nodes", "Radix-tree nodes currently allocated",
+		func() float64 { return float64(s.HostVM.Stats().RadixNodes) })
+
+	r.Func("guvm_link_ops_total", "Interconnect transfer operations",
+		func() float64 { return float64(s.Driver.Link().Stats().Ops) })
+	r.Func("guvm_link_bytes_to_gpu_total", "Bytes moved host-to-GPU",
+		func() float64 { return float64(s.Driver.Link().Stats().BytesToGPU) })
+	r.Func("guvm_link_bytes_to_host_total", "Bytes moved GPU-to-host",
+		func() float64 { return float64(s.Driver.Link().Stats().BytesToHost) })
+
+	for _, cat := range []struct {
+		name string
+		get  func() faultinject.Counters
+	}{
+		{"buffer_drop", func() faultinject.Counters { return s.Injector.Stats().BufferDrop }},
+		{"migrate", func() faultinject.Counters { return s.Injector.Stats().Migrate }},
+		{"host_alloc", func() faultinject.Counters { return s.Injector.Stats().HostAlloc }},
+	} {
+		c := cat
+		r.Func("guvm_inject_"+c.name+"_injected_total", "Faults injected in category "+c.name,
+			func() float64 { return float64(c.get().Injected) })
+		r.Func("guvm_inject_"+c.name+"_retried_total", "Retries after injection in category "+c.name,
+			func() float64 { return float64(c.get().Retried) })
+		r.Func("guvm_inject_"+c.name+"_recovered_total", "Operations recovered after injection in category "+c.name,
+			func() float64 { return float64(c.get().Recovered) })
+		r.Func("guvm_inject_"+c.name+"_unrecovered_total", "Operations that exhausted retries in category "+c.name,
+			func() float64 { return float64(c.get().Unrecovered) })
+	}
 }
 
 // Run executes the workload under UVM demand paging and returns its
@@ -234,6 +330,19 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 	var kernelTime sim.Time
 	var runErr error
 
+	if s.Obs != nil {
+		name := w.Name()
+		s.Obs.SetStatusFunc(func() any {
+			return map[string]any{
+				"workload":    name,
+				"sim_time_ns": int64(s.Engine.Now()),
+				"batches":     s.Driver.Stats().Batches,
+				"faults":      s.Driver.Stats().TotalFaults,
+				"events":      s.Engine.Executed(),
+			}
+		})
+	}
+
 	var runPhase func(i int)
 	runPhase = func(i int) {
 		if i >= len(phases) {
@@ -257,6 +366,7 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 		start := s.Engine.Now()
 		err := s.Device.LaunchKernel(ph.Kernel, func() {
 			kernelTime += s.Engine.Now() - start
+			s.Obs.OnKernel(i, start, s.Engine.Now()-start)
 			runPhase(i + 1)
 		})
 		if err != nil {
@@ -305,6 +415,9 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 	if s.Auditor != nil {
 		auditRep = s.Auditor.Finish(failure)
 	}
+	// Final publish so live endpoints and exports see end-of-run state
+	// even when the run finished between sample points.
+	s.Obs.Publish()
 	if failure != nil {
 		return nil, failure
 	}

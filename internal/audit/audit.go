@@ -178,7 +178,7 @@ func New(cfg Config, opt Options, eng *sim.Engine, drv *uvm.Driver, dev *gpu.Dev
 }
 
 // Attach registers the auditor as the driver's batch observer.
-func (a *Auditor) Attach() { a.drv.SetBatchObserver(a.onBatch) }
+func (a *Auditor) Attach() { a.drv.AddBatchObserver(a.onBatch) }
 
 // onBatch runs at every batch end, after the record was collected and the
 // arbiter released, before the next batch starts.

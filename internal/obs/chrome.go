@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"guvm/internal/sim"
+)
+
+// WriteChromeTrace renders the tracer's spans as Chrome trace_event JSON
+// (the JSON Object Format), loadable in chrome://tracing and Perfetto.
+// Timestamps are microseconds with nanosecond precision (three decimals),
+// matching the engine's integer-nanosecond clock exactly.
+//
+// The output is deterministic: spans render in (lane, start, insertion)
+// order with fixed formatting, so identical simulations produce
+// byte-identical traces (the vecadd golden-file test pins this).
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	spans := append([]Span(nil), t.Spans()...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Lane != spans[j].Lane {
+			return spans[i].Lane < spans[j].Lane
+		}
+		return spans[i].Start < spans[j].Start
+	})
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+
+	// Process/thread name metadata so Perfetto labels the lanes.
+	if err := emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"guvm"}}`); err != nil {
+		return err
+	}
+	names := LaneNames
+	if t.Lanes != nil {
+		names = t.Lanes
+	}
+	lanes := make([]int, 0, len(names))
+	for lane := range names {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	for _, lane := range lanes {
+		if err := emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`,
+			lane, names[lane]); err != nil {
+			return err
+		}
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		if err := emit(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"cat":"%s","name":"%s","args":{"batch":%d}}`,
+			s.Lane, microString(s.Start), microString(s.Dur), s.Cat, s.Name, s.Batch); err != nil {
+			return err
+		}
+	}
+	for _, in := range t.Instants() {
+		if err := emit(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":"%s"}`,
+			LaneEngine, microString(in.At), in.Name); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// microString formats an integer-nanosecond time as microseconds with
+// exactly three decimals — deterministic, no floating point involved.
+func microString(t sim.Time) string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, t/1000, t%1000)
+}

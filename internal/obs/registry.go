@@ -1,0 +1,307 @@
+// Package obs is the simulator's observability layer: a deterministic
+// sim-time span tracer (exported as Chrome trace_event JSON), a metrics
+// registry unifying the counter sets scattered across the driver, GPU,
+// host OS, interconnect and fault-injection models, a sim-time sampler
+// that turns the registry into a time series, and opt-in live HTTP
+// inspection endpoints (Prometheus /metrics, JSON /status, pprof).
+//
+// The layer is provably inert: every entry point is nil-receiver safe and
+// allocation-free when observability is disabled, and when enabled it
+// only *reads* model state at batch boundaries — it never schedules
+// events, never draws from any RNG, and never mutates the models, so
+// enabling it cannot perturb simulation results (the digest-equality
+// regression tests at the repository root pin this contract).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind distinguishes the registry's metric flavours.
+type MetricKind uint8
+
+const (
+	// KindCounter is a monotonically increasing atomic counter, safe to
+	// increment from any goroutine (harness-level metrics).
+	KindCounter MetricKind = iota
+	// KindGauge is an atomic last-value gauge.
+	KindGauge
+	// KindFunc is a pull gauge: its value is read from a callback at
+	// sample time, on the simulation goroutine only. Model counters
+	// (uvm.Stats, gpu.Stats, ...) are exported this way so the hot path
+	// carries no instrumentation writes at all.
+	KindFunc
+	// KindHistogram is a fixed-bucket histogram observed on the
+	// simulation goroutine only.
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// Metric is one registered metric. The concrete behaviour depends on Kind.
+type Metric struct {
+	name string
+	help string
+	kind MetricKind
+
+	// counter/gauge storage (atomic; gauge stores float64 bits).
+	bits atomic.Uint64
+	// fn is the pull callback for KindFunc.
+	fn func() float64
+	// histogram storage (sim goroutine only).
+	bounds []float64 // upper bucket bounds, ascending
+	counts []uint64  // one per bound, plus implicit +Inf via total
+	total  uint64
+	sum    float64
+}
+
+// Name returns the metric's registered name.
+func (m *Metric) Name() string { return m.name }
+
+// Inc adds one to a counter. Nil-safe no-op on other kinds.
+func (m *Metric) Inc() { m.Add(1) }
+
+// Add adds n to a counter. Nil-safe.
+func (m *Metric) Add(n uint64) {
+	if m == nil || m.kind != KindCounter {
+		return
+	}
+	m.bits.Add(n)
+}
+
+// Set stores a gauge value. Nil-safe.
+func (m *Metric) Set(v float64) {
+	if m == nil || m.kind != KindGauge {
+		return
+	}
+	m.bits.Store(math.Float64bits(v))
+}
+
+// Observe records one histogram sample. Nil-safe. Simulation goroutine
+// only — histograms are not concurrency-safe by design (the sim thread is
+// the only writer, and rendering happens there too).
+func (m *Metric) Observe(v float64) {
+	if m == nil || m.kind != KindHistogram {
+		return
+	}
+	m.total++
+	m.sum += v
+	for i, b := range m.bounds {
+		if v <= b {
+			m.counts[i]++
+			return
+		}
+	}
+}
+
+// Value reads the metric's scalar value (histograms report their sample
+// count). KindFunc values must only be read on the simulation goroutine.
+func (m *Metric) Value() float64 {
+	if m == nil {
+		return 0
+	}
+	switch m.kind {
+	case KindCounter:
+		return float64(m.bits.Load())
+	case KindGauge:
+		return math.Float64frombits(m.bits.Load())
+	case KindFunc:
+		if m.fn == nil {
+			return 0
+		}
+		return m.fn()
+	case KindHistogram:
+		return float64(m.total)
+	}
+	return 0
+}
+
+// Registry holds a deterministic, insertion-ordered set of metrics. A nil
+// *Registry is valid: every method no-ops (returning nil metrics, which
+// are themselves nil-safe), so disabled observability costs only nil
+// checks.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*Metric
+	order  []*Metric
+
+	// published is the last rendered Prometheus exposition, stored
+	// atomically so HTTP handlers never race the simulation goroutine.
+	published atomic.Pointer[[]byte]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Metric)}
+}
+
+// register adds (or returns the existing) metric under name.
+func (r *Registry) register(name, help string, kind MetricKind) *Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := &Metric{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or fetches) an atomic counter.
+func (r *Registry) Counter(name, help string) *Metric {
+	return r.register(name, help, KindCounter)
+}
+
+// Gauge registers (or fetches) an atomic gauge.
+func (r *Registry) Gauge(name, help string) *Metric {
+	return r.register(name, help, KindGauge)
+}
+
+// Func registers a pull gauge whose value is fn(), evaluated at sample
+// time on the simulation goroutine. Re-registering a name keeps the first
+// callback.
+func (r *Registry) Func(name, help string, fn func() float64) *Metric {
+	m := r.register(name, help, KindFunc)
+	if m != nil && m.fn == nil {
+		m.fn = fn
+	}
+	return m
+}
+
+// Histogram registers a fixed-bucket histogram with the given ascending
+// upper bounds (an implicit +Inf bucket is always appended on render).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Metric {
+	m := r.register(name, help, KindHistogram)
+	if m != nil && m.bounds == nil {
+		m.bounds = append([]float64(nil), bounds...)
+		sort.Float64s(m.bounds)
+		m.counts = make([]uint64, len(m.bounds))
+	}
+	return m
+}
+
+// snapshotMetrics copies the ordered metric list (registration is rare;
+// sampling is frequent).
+func (r *Registry) snapshotMetrics() []*Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Metric(nil), r.order...)
+}
+
+// ScalarNames returns the names of all non-histogram metrics in
+// registration order — the sampler's column set.
+func (r *Registry) ScalarNames() []string {
+	var names []string
+	for _, m := range r.snapshotMetrics() {
+		if m.kind != KindHistogram {
+			names = append(names, m.name)
+		}
+	}
+	return names
+}
+
+// ScalarValues reads all non-histogram metric values in registration
+// order. Simulation goroutine only (KindFunc callbacks read model state).
+func (r *Registry) ScalarValues() []float64 {
+	var vals []float64
+	for _, m := range r.snapshotMetrics() {
+		if m.kind != KindHistogram {
+			vals = append(vals, m.Value())
+		}
+	}
+	return vals
+}
+
+// formatValue renders a float64 the same way every time (shortest
+// round-trip form), keeping all registry output deterministic.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Simulation goroutine only (pull gauges and histograms are
+// read); HTTP handlers must serve Published() instead.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		if m.kind == KindHistogram {
+			var cum uint64
+			for i, b := range m.bounds {
+				cum += m.counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+					m.name, formatValue(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, m.total, m.name, formatValue(m.sum), m.name, m.total); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish renders the current exposition and stores it for concurrent
+// readers (the HTTP /metrics handler). Simulation goroutine only.
+func (r *Registry) Publish() {
+	if r == nil {
+		return
+	}
+	var buf writerBuf
+	_ = r.WritePrometheus(&buf)
+	b := []byte(buf)
+	r.published.Store(&b)
+}
+
+// Published returns the last rendered exposition (nil if never published).
+// Safe from any goroutine.
+func (r *Registry) Published() []byte {
+	if r == nil {
+		return nil
+	}
+	if p := r.published.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// writerBuf is a minimal append-only io.Writer.
+type writerBuf []byte
+
+func (b *writerBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}

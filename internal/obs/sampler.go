@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"guvm/internal/sim"
+)
+
+// SampleRow is one deterministic sim-time sample of every scalar metric.
+type SampleRow struct {
+	At    sim.Time
+	Batch int
+	Vals  []float64
+}
+
+// Sampler snapshots the registry's scalar metrics at batch boundaries
+// into a time series. Sampling happens on the simulation goroutine (pull
+// gauges read model state), keyed by virtual time, so the series is
+// bit-identical across runs of the same configuration.
+type Sampler struct {
+	reg *Registry
+	// Interval samples every Nth batch (1 = every batch).
+	Interval int
+
+	cols []string
+	rows []SampleRow
+}
+
+// NewSampler returns a sampler over reg with the given batch interval.
+func NewSampler(reg *Registry, interval int) *Sampler {
+	if interval < 1 {
+		interval = 1
+	}
+	return &Sampler{reg: reg, Interval: interval}
+}
+
+// Sample records one row at virtual time now, tagged with the batch ID.
+// The column set is frozen at the first sample.
+func (s *Sampler) Sample(now sim.Time, batch int) {
+	if s == nil {
+		return
+	}
+	if s.cols == nil {
+		s.cols = s.reg.ScalarNames()
+	}
+	s.rows = append(s.rows, SampleRow{At: now, Batch: batch, Vals: s.reg.ScalarValues()})
+}
+
+// Rows returns the collected series (nil-safe).
+func (s *Sampler) Rows() []SampleRow {
+	if s == nil {
+		return nil
+	}
+	return s.rows
+}
+
+// Columns returns the frozen column names (nil-safe).
+func (s *Sampler) Columns() []string {
+	if s == nil {
+		return nil
+	}
+	return s.cols
+}
+
+// WriteCSV streams the series as CSV: time_ns,batch,<metric...>.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_ns,batch"); err != nil {
+		return err
+	}
+	for _, c := range s.Columns() {
+		if _, err := io.WriteString(w, ","+c); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i := range s.Rows() {
+		r := &s.rows[i]
+		if _, err := fmt.Fprintf(w, "%d,%d", r.At, r.Batch); err != nil {
+			return err
+		}
+		for _, v := range r.Vals {
+			if _, err := io.WriteString(w, ","+formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON streams the series as one JSON object with a columns array
+// and a rows array, rendered with the registry's deterministic value
+// formatting.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"columns\":[\"time_ns\",\"batch\""); err != nil {
+		return err
+	}
+	for _, c := range s.Columns() {
+		if _, err := fmt.Fprintf(w, ",%q", c); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "],\"rows\":[\n"); err != nil {
+		return err
+	}
+	for i := range s.Rows() {
+		r := &s.rows[i]
+		sep := ",\n"
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s[%d,%d", sep, r.At, r.Batch); err != nil {
+			return err
+		}
+		for _, v := range r.Vals {
+			if _, err := io.WriteString(w, ","+formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "]"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

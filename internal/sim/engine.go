@@ -81,6 +81,10 @@ type Engine struct {
 	// free recycles dispatched event structs so steady-state scheduling
 	// allocates nothing. It grows to the peak number of pending events.
 	free []*event
+	// OnEvent, when set, observes every dispatched event just before its
+	// callback runs. Observers must not schedule events or mutate model
+	// state; the hook exists for tracing and costs nothing when nil.
+	OnEvent func(at Time)
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -176,6 +180,9 @@ func (e *Engine) dispatch(ev *event) bool {
 			Pending:  len(e.pq) + 1,
 		})
 		return false
+	}
+	if e.OnEvent != nil {
+		e.OnEvent(e.now)
 	}
 	e.runCallback(ev.fn)
 	return true

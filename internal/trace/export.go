@@ -15,17 +15,34 @@ const batchCSVHeader = "id,start_ns,end_ns,duration_ns,raw_faults,unique_pages,"
 	"t_fetch_ns,t_dedup_ns,t_blockmgmt_ns,t_populate_ns,t_pagetable_ns," +
 	"t_dmamap_ns,t_unmap_ns,t_transfer_ns,t_evict_ns,t_replay_ns\n"
 
+// injectCSVColumns are the opt-in injected-fault columns appended by
+// WriteBatchesCSVWith; the default export omits them so existing consumers
+// see a bit-identical file.
+const injectCSVColumns = ",inj_mig_failures,inj_host_alloc_fails"
+
 // WriteBatchesCSV streams batch records as CSV — the same per-batch log
 // the paper's instrumented driver emitted to the system log, in a form
 // external plotting tools consume directly.
 func WriteBatchesCSV(w io.Writer, batches []BatchRecord) error {
-	if _, err := io.WriteString(w, batchCSVHeader); err != nil {
+	return WriteBatchesCSVWith(w, batches, false)
+}
+
+// WriteBatchesCSVWith is WriteBatchesCSV with optional injected-fault
+// columns (per-batch injected migration failures and host allocation
+// failures). With injectCols false the output is byte-identical to
+// WriteBatchesCSV.
+func WriteBatchesCSVWith(w io.Writer, batches []BatchRecord, injectCols bool) error {
+	header := batchCSVHeader
+	if injectCols {
+		header = batchCSVHeader[:len(batchCSVHeader)-1] + injectCSVColumns + "\n"
+	}
+	if _, err := io.WriteString(w, header); err != nil {
 		return err
 	}
 	for i := range batches {
 		b := &batches[i]
 		_, err := fmt.Fprintf(w,
-			"%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			"%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
 			b.ID, b.Start, b.End, b.Duration(), b.RawFaults, b.UniquePages,
 			b.Type1Dups, b.Type2Dups, b.StalePages, b.VABlocks, b.PagesMigrated,
 			b.BytesMigrated, b.PrefetchedPages, b.Evictions, b.EvictedBytes,
@@ -33,6 +50,14 @@ func WriteBatchesCSV(w io.Writer, batches []BatchRecord) error {
 			b.TFetch, b.TDedup, b.TBlockMgmt, b.TPopulate, b.TPageTable,
 			b.TDMAMap, b.TUnmap, b.TTransfer, b.TEvict, b.TReplay)
 		if err != nil {
+			return err
+		}
+		if injectCols {
+			if _, err := fmt.Fprintf(w, ",%d,%d", b.InjMigFailures, b.InjHostAllocFails); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,44 @@
+package uvm
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBatchServiceAllocGuard pins the observability layer's inertness
+// contract from the hot-path side: with no batch observers attached (the
+// default), BenchmarkBatchService must allocate what the frozen PR-3
+// baseline measured. A regression here means instrumentation leaked into
+// the batch-service path.
+func TestBatchServiceAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs the batch-service benchmark; skipped in -short")
+	}
+	raw, err := os.ReadFile("../../BENCH_pr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Measured map[string]struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"measured"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	baseline := doc.Measured["BenchmarkBatchService"].AllocsPerOp
+	if baseline <= 0 {
+		t.Fatal("BENCH_pr3.json has no measured BenchmarkBatchService allocs_per_op")
+	}
+
+	res := testing.Benchmark(BenchmarkBatchService)
+	got := float64(res.AllocsPerOp())
+	// The pipeline is deterministic, so allocs/op barely moves between
+	// runs; 5% headroom absorbs map-growth jitter across Go versions.
+	if got > baseline*1.05 {
+		t.Fatalf("disabled-observability allocs/op regressed: %.0f, baseline %.0f (+%.1f%%)",
+			got, baseline, 100*(got/baseline-1))
+	}
+	t.Logf("allocs/op %.0f vs baseline %.0f", got, baseline)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"guvm/internal/mem"
+	"guvm/internal/trace"
 )
 
 // BenchmarkBatchService measures the driver's whole batch-servicing
@@ -32,6 +33,38 @@ func BenchmarkBatchService(b *testing.B) {
 		}
 		if drv.Stats().Batches == 0 {
 			b.Fatal("no batches serviced")
+		}
+	}
+}
+
+// BenchmarkBatchServiceObserved is BenchmarkBatchService with a batch
+// observer attached — the incremental cost of the observability hook
+// itself (one indirect call per batch). Compare against the base
+// benchmark: with observers disabled, the driver pays only a nil-slice
+// length check, which the allocation guard test pins at zero extra
+// allocations.
+func BenchmarkBatchServiceObserved(b *testing.B) {
+	const bytes = 16 << 20
+	nPages := int(bytes / mem.PageSize)
+	b.ReportAllocs()
+	observed := 0
+	for i := 0; i < b.N; i++ {
+		eng, drv, dev := newSystem(smallGPU(), noPrefetch())
+		drv.AddBatchObserver(func(id int, rec *trace.BatchRecord) { observed++ })
+		base := drv.Alloc(bytes)
+		k := streamKernel(base, nPages)
+		done := false
+		if err := dev.LaunchKernel(k, func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("kernel never completed")
+		}
+		if observed == 0 {
+			b.Fatal("observer never ran")
 		}
 	}
 }

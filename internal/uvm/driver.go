@@ -163,10 +163,12 @@ type Driver struct {
 	// sharing the host (multi-GPU).
 	arbiter *Arbiter
 
-	// onBatch, when set, observes every completed batch (the audit
-	// subsystem's per-batch hook). It runs after the batch record lands
-	// in the Collector and before the next batch starts.
-	onBatch func(id int, rec *trace.BatchRecord)
+	// onBatch holds the observers of every completed batch (audit and
+	// observability hooks). They run in registration order after the
+	// batch record lands in the Collector and before the next batch
+	// starts. Empty in the common case, so the hot path pays only a
+	// length check.
+	onBatch []func(id int, rec *trace.BatchRecord)
 
 	// scratch is the pooled per-batch working state; batches never
 	// overlap on one driver (inBatch guards), so reuse is safe.
@@ -212,10 +214,13 @@ func (d *Driver) Attach(dev *gpu.Device) {
 // before each batch (multi-GPU configurations).
 func (d *Driver) SetArbiter(a *Arbiter) { d.arbiter = a }
 
-// SetBatchObserver registers fn to run at the end of every batch, after
-// its record is collected. The audit subsystem uses this hook to check
-// invariants and snapshot state digests at batch granularity.
-func (d *Driver) SetBatchObserver(fn func(id int, rec *trace.BatchRecord)) { d.onBatch = fn }
+// AddBatchObserver registers fn to run at the end of every batch, after
+// its record is collected. Observers run in registration order; the audit
+// subsystem checks invariants and snapshots state digests here, and the
+// observability layer derives phase spans and metric samples.
+func (d *Driver) AddBatchObserver(fn func(id int, rec *trace.BatchRecord)) {
+	d.onBatch = append(d.onBatch, fn)
+}
 
 // SetInjector attaches a fault injector to the driver's migration and
 // host-allocation paths (and to the backing host VM). A nil injector (the
@@ -549,8 +554,8 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 		if d.arbiter != nil {
 			d.arbiter.Release()
 		}
-		if d.onBatch != nil {
-			d.onBatch(id, &d.Collector.Batches[id])
+		for _, fn := range d.onBatch {
+			fn(id, &d.Collector.Batches[id])
 		}
 		// Service the next batch if faults are already waiting;
 		// otherwise sleep until the next interrupt.

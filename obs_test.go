@@ -1,0 +1,165 @@
+package guvm
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"guvm/internal/audit"
+	"guvm/internal/obs"
+	"guvm/internal/sim"
+	"guvm/internal/workloads"
+)
+
+var updateObsGolden = flag.Bool("update-obs-golden", false, "rewrite testdata/vecadd_trace.golden.json from the current build")
+
+// obsTestConfig is the audited vecadd configuration shared by the
+// observability tests and the golden trace; it matches uvmsim's defaults
+// (`uvmsim -workload vecadd -audit`) so the CI golden check can regenerate
+// the file through the CLI.
+func obsTestConfig() SystemConfig {
+	cfg := DefaultConfig()
+	cfg.Audit.Enabled = true
+	cfg.Audit.Interval = 1
+	return cfg
+}
+
+func runVecAdd(t *testing.T, cfg SystemConfig) (*Simulator, *Result) {
+	t.Helper()
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(workloads.NewVecAddPaper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+// TestObsDigestsUnchanged is the zero-perturbation regression: full
+// observability (tracing, engine events, per-batch sampling) must leave
+// every per-batch state digest and the final digest byte-identical to an
+// unobserved run.
+func TestObsDigestsUnchanged(t *testing.T) {
+	off := obsTestConfig()
+	on := obsTestConfig()
+	on.Obs = obs.Config{Trace: true, EngineEvents: true, SampleInterval: 1}
+
+	_, resOff := runVecAdd(t, off)
+	_, resOn := runVecAdd(t, on)
+
+	rep := audit.CompareSnapshots(resOff.Audit.Snapshots, resOn.Audit.Snapshots)
+	if !rep.Match {
+		t.Fatalf("observability perturbed the simulation: first divergent batch %d (%d compared)",
+			rep.FirstDivergentBatch, rep.Compared)
+	}
+	if len(resOff.Audit.Snapshots) != len(resOn.Audit.Snapshots) {
+		t.Fatalf("snapshot count differs: %d without obs, %d with",
+			len(resOff.Audit.Snapshots), len(resOn.Audit.Snapshots))
+	}
+	if resOff.Audit.FinalDigest != resOn.Audit.FinalDigest {
+		t.Fatalf("final digest differs: %016x without obs, %016x with",
+			resOff.Audit.FinalDigest, resOn.Audit.FinalDigest)
+	}
+	if resOff.TotalTime != resOn.TotalTime {
+		t.Fatalf("total time differs: %d vs %d", resOff.TotalTime, resOn.TotalTime)
+	}
+}
+
+// TestObsPhaseSpansPartitionBatches verifies the acceptance contract on a
+// real run: for every batch, the LanePhase spans sum exactly to End-Start
+// and tile the window without gaps or overlap.
+func TestObsPhaseSpansPartitionBatches(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs.Trace = true
+	s, res := runVecAdd(t, cfg)
+
+	byBatch := make(map[int][]obs.Span)
+	for _, sp := range s.Obs.Tracer.Spans() {
+		if sp.Lane == obs.LanePhase {
+			byBatch[sp.Batch] = append(byBatch[sp.Batch], sp)
+		}
+	}
+	if len(byBatch) != len(res.Batches) {
+		t.Fatalf("phase spans cover %d batches, want %d", len(byBatch), len(res.Batches))
+	}
+	for i := range res.Batches {
+		b := &res.Batches[i]
+		spans := byBatch[b.ID]
+		if len(spans) == 0 {
+			t.Fatalf("batch %d has no phase spans", b.ID)
+		}
+		cursor := b.Start
+		var sum sim.Time
+		for _, sp := range spans {
+			if sp.Start != cursor {
+				t.Fatalf("batch %d: span %q starts at %d, want contiguous %d", b.ID, sp.Name, sp.Start, cursor)
+			}
+			cursor += sp.Dur
+			sum += sp.Dur
+		}
+		if sum != b.Duration() {
+			t.Fatalf("batch %d: phase spans sum to %d, want End-Start = %d", b.ID, sum, b.Duration())
+		}
+	}
+}
+
+// TestObsGoldenTrace pins the Chrome trace JSON for the audited vecadd run
+// byte-for-byte. Regenerate with:
+//
+//	go test -run TestObsGoldenTrace -update-obs-golden
+func TestObsGoldenTrace(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs.Trace = true
+	s, _ := runVecAdd(t, cfg)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, s.Obs.Tracer); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "vecadd_trace.golden.json")
+	if *updateObsGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-obs-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverges from %s (%d bytes got, %d want); regenerate with -update-obs-golden if the change is intended",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestObsSamplerDeterministic pins that two identical observed runs
+// produce byte-identical metric series.
+func TestObsSamplerDeterministic(t *testing.T) {
+	series := func() string {
+		cfg := obsTestConfig()
+		cfg.Obs.SampleInterval = 1
+		s, _ := runVecAdd(t, cfg)
+		var buf bytes.Buffer
+		if err := s.Obs.Sampler.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := series(), series()
+	if a != b {
+		t.Fatal("two identical runs produced different metric series")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty metric series")
+	}
+}

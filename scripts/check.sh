@@ -14,3 +14,37 @@ go test -race ./...
 go run ./cmd/uvmsim -workload vecadd -audit > /dev/null
 go run ./cmd/uvmsim -workload stream -mb 16 -audit > /dev/null
 go run ./cmd/uvmsim -workload stream -mb 16 -verify-determinism > /dev/null
+
+# Observability gate: the audited vecadd Chrome trace must match the
+# golden file byte-for-byte, and the live /metrics endpoint must serve a
+# Prometheus exposition of a known counter from a running simulation.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/uvmsim -workload vecadd -audit -trace-out "$tmpdir/trace.json" > /dev/null
+cmp testdata/vecadd_trace.golden.json "$tmpdir/trace.json"
+
+go build -o "$tmpdir/uvmsim" ./cmd/uvmsim
+"$tmpdir/uvmsim" -workload stream -mb 16 -metrics-addr 127.0.0.1:0 -metrics-hold 20s \
+  > "$tmpdir/uvmsim.log" 2>&1 &
+simpid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/^metrics: serving on //p' "$tmpdir/uvmsim.log")
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ]
+# The first exposition is published at the first batch boundary; retry
+# briefly so the probe cannot race the run's start.
+ok=""
+for _ in $(seq 1 50); do
+  if curl -s "http://$addr/metrics" | grep -q '^guvm_driver_batches_total '; then
+    ok=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$ok" ]
+curl -s "http://$addr/status" | grep -q '"workload"'
+kill "$simpid" 2> /dev/null || true
+wait "$simpid" 2> /dev/null || true
