@@ -17,6 +17,7 @@ import (
 	"guvm"
 	"guvm/internal/mem"
 	"guvm/internal/obs"
+	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
 
@@ -24,6 +25,9 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "run the prefetch-instruction kernel (Figure 5)")
 	auditOn := flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of batch/phase spans to this file")
+	evictPol := flag.String("evict", "", "eviction policy by registry name (default: the driver default)")
+	prefetchPol := flag.String("prefetch-policy", "", "prefetch policy by registry name (default: off, exposing raw fault mechanics)")
+	sizingPol := flag.String("batch-sizing", "", "batch-sizing policy by registry name (default: fixed)")
 	flag.Parse()
 
 	cfg := guvm.DefaultConfig()
@@ -33,6 +37,11 @@ func main() {
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = 1
 	cfg.Obs.Trace = *traceOut != ""
+	cfg.Policies = uvm.PolicySelection{
+		Eviction:    *evictPol,
+		Prefetch:    *prefetchPol,
+		BatchSizing: *sizingPol,
+	}
 
 	var w workloads.Workload
 	if *prefetch {

@@ -24,6 +24,7 @@ import (
 	"guvm/internal/experiments"
 	"guvm/internal/obs"
 	"guvm/internal/sim"
+	"guvm/internal/uvm"
 )
 
 func main() {
@@ -32,7 +33,23 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	verbose := flag.Bool("v", false, "print tables and notes to stdout")
 	traceOut := flag.String("trace-out", "", "write a wall-clock Chrome trace of the experiment harness (one lane per experiment) to this file")
+	evictPol := flag.String("evict", "", "override the eviction policy (registry name) in every experiment's base profile")
+	prefetchPol := flag.String("prefetch-policy", "", "override the prefetch policy (registry name) in every experiment's base profile")
+	sizingPol := flag.String("batch-sizing", "", "override the batch-sizing policy (registry name) in every experiment's base profile")
 	flag.Parse()
+
+	// Overrides reach experiments through the shared base profile; an
+	// experiment that ablates a policy dimension still sweeps it (the
+	// ablation overwrites that field). Unknown names are rejected here,
+	// with the valid options, before any simulation runs.
+	if err := experiments.SetPolicies(uvm.PolicySelection{
+		Eviction:    *evictPol,
+		Prefetch:    *prefetchPol,
+		BatchSizing: *sizingPol,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(2)
+	}
 
 	var gens []experiments.Generator
 	if *only == "" {

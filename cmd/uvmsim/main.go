@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -60,6 +61,22 @@ var workloadNames = []string{
 	"sgemm", "dgemm", "fft", "gauss-seidel", "hpgmg", "spmv",
 }
 
+// printPolicies writes the registered driver policies grouped by kind, in
+// registration order (the -list-policies output).
+func printPolicies(w io.Writer) {
+	var kind uvm.PolicyKind
+	for _, p := range uvm.Policies() {
+		if p.Kind != kind {
+			if kind != "" {
+				fmt.Fprintln(w)
+			}
+			kind = p.Kind
+			fmt.Fprintf(w, "%s:\n", kind)
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", p.Name, p.Description)
+	}
+}
+
 func main() {
 	var (
 		name        = flag.String("workload", "stream", "workload name (see -list)")
@@ -85,12 +102,19 @@ func main() {
 		adaptive   = flag.Bool("adaptive-batch", false, "duplicate-adaptive batch sizing")
 		asyncUnmap = flag.Bool("async-unmap", false, "preemptive CPU unmapping at kernel launch")
 		xblock     = flag.Int("xblock-prefetch", 0, "cross-VABlock prefetch scope (blocks ahead)")
-		evict      = flag.String("evict", "lru", "eviction policy: lru, fifo, random, lfu")
-		analyze    = flag.Bool("analyze", false, "print post-run telemetry analysis")
-		traceFile  = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
-		csvOut     = flag.String("csv", "", "write per-batch records as CSV to this file")
-		csvInject  = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
-		faultsOut  = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
+		evict      = flag.String("evict", "lru", "eviction policy by registry name (see -list-policies)")
+
+		// Named policy selection (the registry in internal/uvm). Empty
+		// prefetch/batch-sizing selections defer to the individual knobs
+		// above; non-empty ones override them.
+		prefetchPol  = flag.String("prefetch-policy", "", "prefetch policy by registry name (overrides -prefetch/-xblock-prefetch)")
+		sizingPol    = flag.String("batch-sizing", "", "batch-sizing policy by registry name (overrides -adaptive-batch)")
+		listPolicies = flag.Bool("list-policies", false, "list registered driver policies and exit")
+		analyze      = flag.Bool("analyze", false, "print post-run telemetry analysis")
+		traceFile    = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
+		csvOut       = flag.String("csv", "", "write per-batch records as CSV to this file")
+		csvInject    = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
+		faultsOut    = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
 
 		// Observability (internal/obs): span tracing, metric sampling, and
 		// the opt-in live HTTP endpoint. All off by default.
@@ -117,6 +141,10 @@ func main() {
 		for _, w := range workloadNames {
 			fmt.Println(w)
 		}
+		return
+	}
+	if *listPolicies {
+		printPolicies(os.Stdout)
 		return
 	}
 
@@ -148,17 +176,15 @@ func main() {
 	cfg.Driver.AdaptiveBatch = *adaptive
 	cfg.Driver.AsyncUnmap = *asyncUnmap
 	cfg.Driver.CrossBlockPrefetch = *xblock
-	switch *evict {
-	case "lru":
-		cfg.Driver.Eviction = uvm.EvictLRU
-	case "fifo":
-		cfg.Driver.Eviction = uvm.EvictFIFO
-	case "random":
-		cfg.Driver.Eviction = uvm.EvictRandom
-	case "lfu":
-		cfg.Driver.Eviction = uvm.EvictLFU
-	default:
-		fmt.Fprintf(os.Stderr, "uvmsim: unknown eviction policy %q\n", *evict)
+	cfg.Policies = uvm.PolicySelection{
+		Eviction:    *evict,
+		Prefetch:    *prefetchPol,
+		BatchSizing: *sizingPol,
+	}
+	// Resolve eagerly so an unregistered name is rejected (with the valid
+	// options) before any workload work happens, for every run mode.
+	if err := cfg.Policies.Apply(&cfg.Driver); err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"guvm/internal/uvm"
+)
+
+// TestPrintPolicies checks the -list-policies output: every registered
+// policy appears under its kind heading, in registration order.
+func TestPrintPolicies(t *testing.T) {
+	var buf bytes.Buffer
+	printPolicies(&buf)
+	out := buf.String()
+
+	for _, kind := range []uvm.PolicyKind{uvm.KindEviction, uvm.KindPrefetch, uvm.KindBatchSizing} {
+		if !strings.Contains(out, string(kind)+":") {
+			t.Errorf("listing missing %q heading:\n%s", kind, out)
+		}
+	}
+	last := -1
+	for _, p := range uvm.Policies() {
+		i := strings.Index(out, "  "+p.Name)
+		if i < 0 {
+			t.Errorf("listing missing policy %q:\n%s", p.Name, out)
+			continue
+		}
+		if i < last {
+			t.Errorf("policy %q listed out of registration order", p.Name)
+		}
+		last = i
+	}
+}
+
+// TestUnknownPolicyRejected checks the typed error path the CLI rides on:
+// an unregistered name must fail with an UnknownPolicyError that names the
+// valid options.
+func TestUnknownPolicyRejected(t *testing.T) {
+	var cfg uvm.Config
+	sel := uvm.PolicySelection{Eviction: "clock"}
+	err := sel.Apply(&cfg)
+	if err == nil {
+		t.Fatal("Apply accepted unregistered eviction policy \"clock\"")
+	}
+	if !errors.Is(err, uvm.ErrUnknownPolicy) {
+		t.Fatalf("error %v does not wrap ErrUnknownPolicy", err)
+	}
+	var upe *uvm.UnknownPolicyError
+	if !errors.As(err, &upe) {
+		t.Fatalf("error %v is not an *UnknownPolicyError", err)
+	}
+	for _, valid := range []string{"lru", "fifo", "random", "lfu"} {
+		if !strings.Contains(err.Error(), valid) {
+			t.Errorf("error %q does not name valid option %q", err, valid)
+		}
+	}
+}
+
+// TestCLIPolicyFlags builds the real binary and exercises -list-policies
+// and the unknown-name rejection end to end.
+func TestCLIPolicyFlags(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "uvmsim")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-list-policies").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list-policies: %v\n%s", err, out)
+	}
+	for _, name := range []string{"lru", "lfu", "tree", "cross-block", "fixed", "adaptive"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list-policies output missing %q:\n%s", name, out)
+		}
+	}
+
+	cmd := exec.Command(bin, "-workload", "vecadd", "-evict", "clock")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-evict clock accepted; output:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("-evict clock: want exit code 2, got %v", err)
+	}
+	if !strings.Contains(string(out), "unknown eviction policy") ||
+		!strings.Contains(string(out), "valid: lru, fifo, random, lfu") {
+		t.Errorf("rejection message does not name the valid options:\n%s", out)
+	}
+}

@@ -68,8 +68,9 @@ func main() {
 		seed     = flag.Uint64("seed", 11, "workload seed")
 		batches  = flag.String("batches", "256", "comma-separated batch size limits")
 		caps     = flag.String("caps", "32,64,256", "comma-separated GPU capacities in MiB")
-		prefetch = flag.String("prefetch", "on,off", "prefetch settings to sweep (on,off)")
-		policies = flag.String("evict", "lru", "eviction policies to sweep (lru,fifo,random,lfu)")
+		prefetch = flag.String("prefetch", "on,off", "prefetch policies to sweep, by registry name (on/off accepted as aliases of tree/off)")
+		policies = flag.String("evict", "lru", "eviction policies to sweep, by registry name")
+		sizings  = flag.String("batch-sizing", "fixed", "batch-sizing policies to sweep, by registry name")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
 		addr     = flag.String("metrics-addr", "", "serve live sweep progress (/metrics, /status, pprof) on this address")
@@ -91,30 +92,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
 		os.Exit(2)
 	}
-	polMap := map[string]uvm.EvictionPolicy{
-		"lru": uvm.EvictLRU, "fifo": uvm.EvictFIFO,
-		"random": uvm.EvictRandom, "lfu": uvm.EvictLFU,
-	}
-
-	// Expand the grid up front (validating every policy name before any
-	// simulation runs), then fan the independent points out on the pool.
+	// Expand the grid up front (validating every policy name against the
+	// registry before any simulation runs — an unknown name is rejected
+	// with the valid options), then fan the independent points out on the
+	// pool. Each point carries a named PolicySelection that NewSimulator
+	// resolves onto the driver config.
 	type point struct {
 		bs, capMB int
-		pfOn      bool
-		policy    uvm.EvictionPolicy
+		pols      uvm.PolicySelection
 	}
 	var grid []point
+	validate := func(sel uvm.PolicySelection) {
+		var probe uvm.Config
+		if err := sel.Apply(&probe); err != nil {
+			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	for _, bs := range batchList {
 		for _, capMB := range capList {
 			for _, pf := range strings.Split(*prefetch, ",") {
-				pfOn := strings.TrimSpace(pf) == "on"
+				pfName := strings.TrimSpace(pf)
+				switch pfName { // legacy aliases
+				case "on":
+					pfName = "tree"
+				case "":
+					pfName = "off"
+				}
 				for _, pol := range strings.Split(*policies, ",") {
-					policy, ok := polMap[strings.TrimSpace(pol)]
-					if !ok {
-						fmt.Fprintf(os.Stderr, "uvmsweep: unknown policy %q\n", pol)
-						os.Exit(2)
+					for _, sz := range strings.Split(*sizings, ",") {
+						sel := uvm.PolicySelection{
+							Eviction:    strings.TrimSpace(pol),
+							Prefetch:    pfName,
+							BatchSizing: strings.TrimSpace(sz),
+						}
+						validate(sel)
+						grid = append(grid, point{bs, capMB, sel})
 					}
-					grid = append(grid, point{bs, capMB, pfOn, policy})
 				}
 			}
 		}
@@ -148,15 +162,13 @@ func main() {
 		row string
 		err error
 	}
-	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
+	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,batch_sizing,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
 	experiments.ForEachOrdered(len(grid), *jobs, func(i int) outcome {
 		p := grid[i]
 		cfg := guvm.DefaultConfig()
 		cfg.Driver.BatchSize = p.bs
 		cfg.Driver.GPUMemBytes = uint64(p.capMB) << 20
-		cfg.Driver.PrefetchEnabled = p.pfOn
-		cfg.Driver.Upgrade64K = p.pfOn
-		cfg.Driver.Eviction = p.policy
+		cfg.Policies = p.pols
 		cfg.Audit.Enabled = *auditOn
 		cfg.Audit.Interval = 1
 		s, err := guvm.NewSimulator(cfg)
@@ -167,8 +179,8 @@ func main() {
 		if err != nil {
 			return outcome{err: fmt.Errorf("%s bs=%d cap=%d: %w", *name, p.bs, p.capMB, err)}
 		}
-		return outcome{row: fmt.Sprintf("%s,%d,%d,%v,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d",
-			res.Workload, p.bs, p.capMB, p.pfOn, p.policy,
+		return outcome{row: fmt.Sprintf("%s,%d,%d,%s,%s,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d",
+			res.Workload, p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing,
 			res.KernelTime.Millis(), res.BatchTime().Millis(),
 			len(res.Batches), res.DriverStats.TotalFaults,
 			res.DriverStats.Evictions,

@@ -1,11 +1,19 @@
 package guvm
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"guvm/internal/audit"
 	"guvm/internal/workloads"
 )
+
+var updateGoldens = flag.Bool("update-goldens", false,
+	"rewrite testdata/digests_*.golden from the current pipeline instead of comparing")
 
 // fig08Workload is the stream benchmark Figure 8 profiles, scaled to a
 // test-sized footprint.
@@ -84,5 +92,101 @@ func TestCompareSnapshotsDetectsPerturbation(t *testing.T) {
 	}
 	if rep.FirstDivergentBatch < 0 {
 		t.Fatalf("divergent report has no divergent batch: %+v", rep)
+	}
+}
+
+// goldenDigestCases are the four frozen reference workloads whose
+// per-batch state digests were captured from the pre-pipeline (PR-4)
+// driver. They cover the paper's main regimes: first-touch streaming
+// (vecadd), oversubscription with heavy eviction (stream at 4x capacity),
+// duplicate-heavy tiled reuse under eviction (sgemm), and multithreaded
+// host-initialized phases exercising the unmap path (hpgmg).
+func goldenDigestCases() []struct {
+	name string
+	cfg  SystemConfig
+	mk   func() workloads.Workload
+} {
+	base := func() SystemConfig {
+		cfg := DefaultConfig()
+		cfg.Audit.Interval = 1
+		return cfg
+	}
+	vecadd := base()
+	stream := base()
+	stream.Driver.GPUMemBytes = 12 << 20 // 3x16 MB stream -> 400% oversubscribed
+	sgemm := base()
+	sgemm.Driver.GPUMemBytes = 8 << 20 // 12 MB footprint -> eviction under reuse
+	hpgmg := base()
+	return []struct {
+		name string
+		cfg  SystemConfig
+		mk   func() workloads.Workload
+	}{
+		{"vecadd", vecadd, func() workloads.Workload { return workloads.NewVecAddPaper() }},
+		{"stream", stream, func() workloads.Workload { return workloads.NewStream(16<<20, 24) }},
+		{"sgemm", sgemm, func() workloads.Workload { return workloads.NewSGEMM(1024) }},
+		{"hpgmg", hpgmg, func() workloads.Workload { return workloads.NewHPGMG(16<<20, 4) }},
+	}
+}
+
+// formatDigestGolden renders one digest snapshot stream in the frozen
+// golden format: one line per audited batch with every component digest,
+// so a divergence pinpoints both the batch and the subsystem.
+func formatDigestGolden(name string, snaps []audit.Snapshot, final uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# per-batch state digests: %s (batch driver device host link combined)\n", name)
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%d %016x %016x %016x %016x %016x\n",
+			s.Batch, s.Driver, s.Device, s.Host, s.Link, s.Combined)
+	}
+	fmt.Fprintf(&b, "final %016x\n", final)
+	return b.String()
+}
+
+// TestBatchDigestGoldens locks the servicing pipeline to the digest
+// streams frozen before the driver was decomposed into staged batch
+// processing: for each golden workload, every per-batch state digest
+// (driver, device, host VM, link, combined) must be byte-identical to the
+// pre-refactor monolith's. Regenerate with -update-goldens only for a
+// deliberate, explained behaviour change.
+func TestBatchDigestGoldens(t *testing.T) {
+	for _, tc := range goldenDigestCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSimulator(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Audit.Snapshots) == 0 {
+				t.Fatal("no digest snapshots — the workload produced no batches")
+			}
+			got := formatDigestGolden(tc.name, res.Audit.Snapshots, res.Audit.FinalDigest)
+			path := filepath.Join("testdata", "digests_"+tc.name+".golden")
+			if *updateGoldens {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d batches)", path, len(res.Audit.Snapshots))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-goldens to freeze): %v", err)
+			}
+			if got != string(want) {
+				gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+				for i := 0; i < len(gl) && i < len(wl); i++ {
+					if gl[i] != wl[i] {
+						t.Fatalf("digest stream diverged from pre-refactor golden at line %d:\ngot:  %s\nwant: %s",
+							i+1, gl[i], wl[i])
+					}
+				}
+				t.Fatalf("digest stream length differs: got %d lines, want %d", len(gl), len(wl))
+			}
+		})
 	}
 }

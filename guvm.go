@@ -69,6 +69,12 @@ type SystemConfig struct {
 	// sampling). The zero value attaches nothing: no observer hooks, no
 	// instrumentation, zero cost on the fault-service path.
 	Obs obs.Config
+	// Policies selects the driver's eviction/prefetch/batch-sizing
+	// policies by registry name (see uvm.Policies for the catalog),
+	// overriding the corresponding Driver knobs. Empty fields leave the
+	// knobs untouched; an unregistered name makes NewSimulator return an
+	// error wrapping uvm.ErrUnknownPolicy.
+	Policies uvm.PolicySelection
 }
 
 // DefaultConfig returns the experiment-scale profile: a Titan-V-like GPU
@@ -163,6 +169,9 @@ type Simulator struct {
 // NewSimulator builds a simulator. An invalid component or injection
 // configuration is an error.
 func NewSimulator(cfg SystemConfig) (*Simulator, error) {
+	if err := cfg.Policies.Apply(&cfg.Driver); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	eng.MaxEvents = cfg.MaxEvents
 	eng.MaxStallEvents = cfg.MaxStallEvents

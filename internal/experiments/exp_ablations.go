@@ -75,10 +75,10 @@ func AblAdaptiveBatch() (*Artifact, error) {
 		return w
 	}
 	var kernels []float64
-	for _, adaptive := range []bool{false, true} {
+	for _, sizing := range []string{"fixed", "adaptive"} {
 		cfg := noPrefetch(baseConfig())
 		cfg.Driver.BatchSize = 1024
-		cfg.Driver.AdaptiveBatch = adaptive
+		cfg.Policies.BatchSizing = sizing
 		s, err := guvm.NewSimulator(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: abl-adaptive: %w", err)
@@ -92,7 +92,7 @@ func AblAdaptiveBatch() (*Artifact, error) {
 			dups += b.DupFaults()
 		}
 		name := "fixed-1024"
-		if adaptive {
+		if sizing == "adaptive" {
 			name = "adaptive"
 		}
 		t.AddRow(name, ms(res.KernelTime), len(res.Batches), dups, s.Driver.EffectiveBatchSize())
@@ -173,16 +173,18 @@ func AblCrossBlockPrefetch() (*Artifact, error) {
 	gains := map[string]float64{}
 	for _, sc := range scenarios {
 		var kernels []float64
-		for _, scope := range []int{0, 2} {
+		// "tree" is the shipped within-block prefetcher; "cross-block" is
+		// the §6 proposal with the registry's default +2-block scope.
+		for _, pol := range []string{"tree", "cross-block"} {
 			cfg := baseConfig()
 			cfg.Driver.GPUMemBytes = sc.capMB << 20
-			cfg.Driver.CrossBlockPrefetch = scope
+			cfg.Policies.Prefetch = pol
 			res, err := run(cfg, sc.mk())
 			if err != nil {
 				return nil, err
 			}
 			label := "within-block"
-			if scope > 0 {
+			if pol == "cross-block" {
 				label = "+2 blocks"
 			}
 			t.AddRow(sc.name, label, ms(res.KernelTime), len(res.Batches), res.DriverStats.Evictions)
@@ -205,15 +207,18 @@ func AblEvictionPolicy() (*Artifact, error) {
 		Title:   "Eviction policy under cyclic reuse (gauss-seidel, ~116% oversub)",
 		Headers: []string{"policy", "kernel_ms", "evictions", "bytes_rewritten_MB"},
 	}
-	for _, pol := range []uvm.EvictionPolicy{uvm.EvictLRU, uvm.EvictFIFO, uvm.EvictRandom, uvm.EvictLFU} {
+	// Sweep every registered eviction policy by name (registration order:
+	// lru, fifo, random, lfu), so policies added via RegisterEvictionPolicy
+	// join the ablation automatically.
+	for _, pol := range uvm.PoliciesOf(uvm.KindEviction) {
 		cfg := baseConfig()
 		cfg.Driver.GPUMemBytes = 32 << 20
-		cfg.Driver.Eviction = pol
+		cfg.Policies.Eviction = pol.Name
 		res, err := run(cfg, workloads.NewGaussSeidel(3072, 3))
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pol.String(), ms(res.KernelTime), res.DriverStats.Evictions,
+		t.AddRow(pol.Name, ms(res.KernelTime), res.DriverStats.Evictions,
 			float64(res.LinkStats.BytesToHost)/(1<<20))
 	}
 	a.Tables = append(a.Tables, t)

@@ -17,6 +17,7 @@ import (
 	"guvm/internal/report"
 	"guvm/internal/sim"
 	"guvm/internal/trace"
+	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
 
@@ -88,6 +89,25 @@ func Find(id string) (Generator, bool) {
 	return Generator{}, false
 }
 
+// policyOverride is the process-wide policy selection applied to every
+// experiment's base profile (see SetPolicies). Individual experiments that
+// ablate a policy dimension overwrite the corresponding field afterwards,
+// so an override never silently invalidates an ablation's own sweep.
+var policyOverride uvm.PolicySelection
+
+// SetPolicies installs a named policy selection into the shared experiment
+// profile; empty fields keep the per-experiment defaults. It validates the
+// names against the registry so callers (paperfigs) can reject an unknown
+// policy with the valid options before any experiment runs.
+func SetPolicies(p uvm.PolicySelection) error {
+	var probe uvm.Config
+	if err := p.Apply(&probe); err != nil {
+		return err
+	}
+	policyOverride = p
+	return nil
+}
+
 // baseConfig is the shared experiment profile: the paper's 80-SM Titan-V
 // GPU with a scaled memory capacity that individual experiments override.
 // The invariant auditor rides along on every experiment run, so the whole
@@ -97,6 +117,7 @@ func baseConfig() guvm.SystemConfig {
 	cfg.Driver.GPUMemBytes = 256 << 20
 	cfg.Audit.Enabled = true
 	cfg.Audit.Interval = 8
+	cfg.Policies = policyOverride
 	return cfg
 }
 

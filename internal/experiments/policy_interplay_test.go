@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"testing"
+
+	"guvm"
+	"guvm/internal/digest"
+	"guvm/internal/uvm"
+	"guvm/internal/workloads"
+)
+
+// policyCombo is one named-policy configuration of the §6 driver
+// extensions: parallel VABlock servicing (ServiceWorkers) and the
+// registry-selected eviction/prefetch/batch-sizing policies.
+type policyCombo struct {
+	name    string
+	workers int
+	pols    uvm.PolicySelection
+}
+
+// interplayCombos pairs each §6 extension with at least one named policy
+// combination: parallel VABlock servicing under fifo+tree+fixed, adaptive
+// batch sizing under lru+off, and both extensions together under
+// lfu+cross-block+adaptive.
+func interplayCombos() []policyCombo {
+	return []policyCombo{
+		{"parallel/fifo+tree+fixed", 4,
+			uvm.PolicySelection{Eviction: "fifo", Prefetch: "tree", BatchSizing: "fixed"}},
+		{"adaptive/lru+off+adaptive", 1,
+			uvm.PolicySelection{Eviction: "lru", Prefetch: "off", BatchSizing: "adaptive"}},
+		{"both/lfu+cross-block+adaptive", 2,
+			uvm.PolicySelection{Eviction: "lfu", Prefetch: "cross-block", BatchSizing: "adaptive"}},
+	}
+}
+
+// comboOutcome is what one combo run reduces to: the folded per-batch
+// digest stream plus the counters that prove the policies were exercised.
+// It carries any run error instead of failing inline, because runCombo
+// executes on ForEachOrdered worker goroutines where t.Fatal is illegal.
+type comboOutcome struct {
+	hash      digest.Hash
+	batches   int
+	evictions int
+	err       error
+}
+
+// runCombo executes one combo on an oversubscribed stream (eviction
+// active) and folds every per-batch state digest into one hash.
+func runCombo(c policyCombo) comboOutcome {
+	cfg := guvm.DefaultConfig()
+	cfg.Driver.GPUMemBytes = 12 << 20 // 3x16 MB stream: eviction active
+	cfg.Driver.ServiceWorkers = c.workers
+	cfg.Policies = c.pols
+	cfg.Audit.Enabled = true
+	cfg.Audit.Interval = 1
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		return comboOutcome{err: err}
+	}
+	res, err := s.Run(workloads.NewStream(16<<20, 24))
+	if err != nil {
+		return comboOutcome{err: err}
+	}
+	h := digest.New()
+	for _, snap := range res.Audit.Snapshots {
+		h = h.Int(snap.Batch).Uint64(snap.Combined)
+	}
+	h = h.Uint64(res.Audit.FinalDigest)
+	return comboOutcome{
+		hash:      h,
+		batches:   len(res.Batches),
+		evictions: res.DriverStats.Evictions,
+	}
+}
+
+// TestPolicyInterplayDigestsAcrossJobs runs every extension-x-policy combo
+// through the harness worker pool at -jobs 1 and -jobs 8 and requires the
+// per-batch digest streams to be byte-identical: neither the parallel
+// servicing extension, the named policies, nor harness concurrency may
+// perturb simulation state.
+func TestPolicyInterplayDigestsAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interplay digests are integration-scale")
+	}
+	combos := interplayCombos()
+	at := func(jobs int) []comboOutcome {
+		var out []comboOutcome
+		ForEachOrdered(len(combos), jobs, func(i int) comboOutcome {
+			return runCombo(combos[i])
+		}, func(i int, o comboOutcome) {
+			if o.err != nil {
+				t.Fatalf("%s (jobs=%d): %v", combos[i].name, jobs, o.err)
+			}
+			out = append(out, o)
+		})
+		return out
+	}
+	seq := at(1)
+	par := at(8)
+	for i, c := range combos {
+		if seq[i].batches == 0 {
+			t.Errorf("%s: produced no batches", c.name)
+		}
+		if seq[i].evictions == 0 {
+			t.Errorf("%s: oversubscribed run exercised no evictions — the %s policy never ran",
+				c.name, c.pols.Eviction)
+		}
+		if seq[i].hash != par[i].hash {
+			t.Errorf("%s: digest stream differs between -jobs 1 (%x) and -jobs 8 (%x)",
+				c.name, seq[i].hash, par[i].hash)
+		}
+	}
+}
+
+// TestAdaptiveSizingChangesBatching is the negative control for the combo
+// digests: the named "adaptive" batch-sizing policy must actually change
+// driver behaviour versus "fixed" on a duplicate-heavy workload, so
+// identical digests above cannot mean the policy never engaged.
+func TestAdaptiveSizingChangesBatching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interplay digests are integration-scale")
+	}
+	run := func(sizing string) digest.Hash {
+		cfg := guvm.DefaultConfig()
+		cfg.Driver.GPUMemBytes = 64 << 20
+		cfg.Driver.BatchSize = 1024
+		cfg.Policies = uvm.PolicySelection{Prefetch: "off", BatchSizing: sizing}
+		cfg.Audit.Enabled = true
+		cfg.Audit.Interval = 1
+		s, err := guvm.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(workloads.NewSGEMM(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := digest.New()
+		for _, snap := range res.Audit.Snapshots {
+			h = h.Uint64(snap.Combined)
+		}
+		return h
+	}
+	if run("fixed") == run("adaptive") {
+		t.Fatal("fixed and adaptive batch sizing produced identical digest streams — the adaptive policy never engaged")
+	}
+}

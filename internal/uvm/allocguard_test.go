@@ -40,5 +40,14 @@ func TestBatchServiceAllocGuard(t *testing.T) {
 		t.Fatalf("disabled-observability allocs/op regressed: %.0f, baseline %.0f (+%.1f%%)",
 			got, baseline, 100*(got/baseline-1))
 	}
-	t.Logf("allocs/op %.0f vs baseline %.0f", got, baseline)
+	// The staged-pipeline refactor (PR 5) must not cost allocations: pin
+	// the post-refactor count to at most the frozen PR-3 absolute. The
+	// pooled per-batch/per-block contexts actually shave ~40 allocs/op
+	// (the BatchRecord no longer heap-escapes per batch), so this is an
+	// exact ceiling, not a headroom bound.
+	const pr3AbsolutePin = 39444
+	if got > pr3AbsolutePin {
+		t.Fatalf("staged pipeline allocs/op %.0f exceeds the frozen PR-3 pin %d", got, pr3AbsolutePin)
+	}
+	t.Logf("allocs/op %.0f vs baseline %.0f (pin %d)", got, baseline, pr3AbsolutePin)
 }

@@ -59,36 +59,35 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// EvictionPolicy selects the replacement policy for 2 MB VABlocks. The
+// EvictionPolicy names a registered VABlock replacement policy. The
 // shipped driver uses LRU, which (with no page-hit information) degrades
 // to earliest-allocated order (§5.4); the alternatives exist because the
-// paper notes "this LRU policy may not be optimal".
-type EvictionPolicy uint8
+// paper notes "this LRU policy may not be optimal". The value is a
+// registry key (see registry.go): the empty string resolves to EvictLRU,
+// anything else must name a registered policy or Validate rejects it with
+// an UnknownPolicyError.
+type EvictionPolicy string
 
 const (
 	// EvictLRU evicts the block with the oldest last-migration batch.
-	EvictLRU EvictionPolicy = iota
+	EvictLRU EvictionPolicy = "lru"
 	// EvictFIFO evicts in chunk allocation order.
-	EvictFIFO
+	EvictFIFO EvictionPolicy = "fifo"
 	// EvictRandom evicts a seeded-random resident block.
-	EvictRandom
+	EvictRandom EvictionPolicy = "random"
 	// EvictLFU evicts the block with the fewest recorded resident-access
 	// hits, using the GPU's access counters — the hit information §5.4
 	// says the shipped LRU lacks. Enabling it turns the counters on.
-	EvictLFU
+	EvictLFU EvictionPolicy = "lfu"
 )
 
-// String names the policy.
+// String names the policy ("unknown" for unregistered names).
 func (p EvictionPolicy) String() string {
-	switch p {
-	case EvictLRU:
-		return "lru"
-	case EvictFIFO:
-		return "fifo"
-	case EvictRandom:
-		return "random"
-	case EvictLFU:
-		return "lfu"
+	if p == "" {
+		return string(EvictLRU)
+	}
+	if _, ok := evictionRegistry.lookup(string(p)); ok {
+		return string(p)
 	}
 	return "unknown"
 }
@@ -187,10 +186,37 @@ func (c Config) Validate() error {
 		return fmt.Errorf("uvm: AdaptiveMin = %d, need in [1, BatchSize]", c.AdaptiveMin)
 	case c.CrossBlockPrefetch < 0:
 		return fmt.Errorf("uvm: CrossBlockPrefetch = %d, need >= 0", c.CrossBlockPrefetch)
-	case c.Eviction > EvictLFU:
-		return fmt.Errorf("uvm: unknown eviction policy %d", c.Eviction)
+	}
+	if c.Eviction != "" {
+		if _, ok := evictionRegistry.lookup(string(c.Eviction)); !ok {
+			return evictionRegistry.unknown(string(c.Eviction))
+		}
 	}
 	return nil
+}
+
+// PrefetchPolicyName derives the registry name matching the prefetch
+// knobs: "off" (no prefetching), "tree" (the shipped density prefetcher),
+// or "cross-block" (density prefetching plus eager whole-block migration
+// beyond the faulting VABlock).
+func (c Config) PrefetchPolicyName() string {
+	switch {
+	case c.CrossBlockPrefetch > 0:
+		return "cross-block"
+	case c.PrefetchEnabled:
+		return "tree"
+	default:
+		return "off"
+	}
+}
+
+// BatchSizingName derives the registry name matching the batch-sizing
+// knobs: "adaptive" (duplicate-driven resizing) or "fixed".
+func (c Config) BatchSizingName() string {
+	if c.AdaptiveBatch {
+		return "adaptive"
+	}
+	return "fixed"
 }
 
 // CapacityBlocks returns how many 2 MB chunks fit in GPU memory.

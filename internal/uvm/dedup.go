@@ -1,0 +1,87 @@
+package uvm
+
+// dedup.go — duplicate classification and VABlock grouping, the first
+// synchronous stage of the batch pipeline (§4.2).
+
+import (
+	"sort"
+
+	"guvm/internal/sim"
+)
+
+// dedupStage classifies duplicate faults by µTLB of origin, filters
+// stale (already-resident) pages, groups the remainder by VABlock in
+// ascending order, and builds the raw per-block fault histogram
+// (Table 3). It also charges the batch's fixed front-end costs into the
+// batch total: setup, fetch, and dedup.
+type dedupStage struct{}
+
+func (dedupStage) name() string { return "dedup" }
+
+func (dedupStage) run(d *Driver, bc *batchCtx) error {
+	sc := bc.sc
+	rec := &bc.rec
+
+	// Duplicate classification (§4.2): a repeat of a page from the same
+	// µTLB is a type-1 duplicate, from a different µTLB type-2.
+	for _, f := range bc.faults {
+		rec.FaultsPerSM[f.SM]++
+		if firstUTLB, ok := sc.seen[f.Page]; ok {
+			if f.UTLB == firstUTLB {
+				rec.Type1Dups++
+			} else {
+				rec.Type2Dups++
+			}
+			continue
+		}
+		sc.seen[f.Page] = f.UTLB
+		sc.uniq = append(sc.uniq, f.Page)
+	}
+	rec.TDedup = sim.Time(len(bc.faults)) * d.cfg.Costs.DedupPerFault
+	rec.UniquePages = len(sc.uniq)
+
+	// Group unique, non-stale pages by VABlock, in ascending order: the
+	// driver processes all batch faults within one VABlock together.
+	// Sorted pages make each VABlock's group a contiguous run of
+	// nonStale, so no per-block map is needed.
+	sort.Slice(sc.uniq, func(i, j int) bool { return sc.uniq[i] < sc.uniq[j] })
+	for _, p := range sc.uniq {
+		if d.IsResidentOnGPU(p) {
+			rec.StalePages++
+			d.stats.StaleFaults++
+			continue
+		}
+		if b := p.VABlock(); len(sc.blockOrder) == 0 || sc.blockOrder[len(sc.blockOrder)-1] != b {
+			sc.blockOrder = append(sc.blockOrder, b)
+		}
+		sc.nonStale = append(sc.nonStale, p)
+	}
+	rec.VABlocks = len(sc.blockOrder)
+
+	// Raw fault distribution over VABlocks (Table 3): counts include
+	// duplicates, in ascending block order.
+	for _, f := range bc.faults {
+		sc.rawPerBlock[f.Page.VABlock()]++
+	}
+	for b := range sc.rawPerBlock {
+		sc.rawBlocks = append(sc.rawBlocks, b)
+	}
+	sort.Slice(sc.rawBlocks, func(i, j int) bool { return sc.rawBlocks[i] < sc.rawBlocks[j] })
+	rec.VABlockFaults = make([]uint16, len(sc.rawBlocks))
+	for i, b := range sc.rawBlocks {
+		n := sc.rawPerBlock[b]
+		if n > 65535 {
+			n = 65535
+		}
+		rec.VABlockFaults[i] = uint16(n)
+	}
+
+	// Mark the serviced blocks so eviction avoids immediately re-faulting
+	// victims, and record them.
+	for _, bid := range sc.blockOrder {
+		sc.inThisBatch[bid] = true
+	}
+	rec.ServicedBlocks = append(rec.ServicedBlocks, sc.blockOrder...)
+	bc.total += d.cfg.Costs.BatchSetup + bc.tFetch + rec.TDedup
+	return nil
+}

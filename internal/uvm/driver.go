@@ -1,8 +1,12 @@
 package uvm
 
+// driver.go — the driver core: per-VABlock bookkeeping, driver-level
+// counters, managed allocation, explicit management, residency queries,
+// and construction/wiring. The fault-servicing pipeline itself lives in
+// the stage files (see pipeline.go for the stage graph).
+
 import (
 	"fmt"
-	"sort"
 
 	"guvm/internal/faultinject"
 	"guvm/internal/gpu"
@@ -84,6 +88,16 @@ type allocSpan struct {
 // instead they are pooled here and cleared (never carried over, never
 // shared) at the start of each batch. Nothing in a batch record may alias
 // these buffers — everything retained by the trace.Collector is copied.
+//
+// Ownership across the stage pipeline: seen/uniq/nonStale/blockOrder/
+// rawPerBlock/rawBlocks are written by the dedup stage and read-only
+// afterwards; inThisBatch is written by dedup and the cross-block stage
+// and read by eviction; blockCosts accumulates across the service and
+// cross-block stages and is consumed by replay; pageIdx/migrate/spans
+// are the transfer step's staging and evictPages/evictSpans eviction's
+// (a separate pair because an eviction firing while a block's migration
+// list is being staged is impossible today, but the split keeps the
+// lifetimes trivially disjoint).
 type batchScratch struct {
 	// seen maps each unique faulted page to the µTLB of its first fault,
 	// for duplicate classification (§4.2).
@@ -102,11 +116,8 @@ type batchScratch struct {
 	blockOrder []mem.VABlockID
 	rawBlocks  []mem.VABlockID
 	blockCosts []sim.Time
-	// pageIdx/migrate/spans are serviceBlock's migration staging;
-	// evictPages/evictSpans are evictOne's writeback staging (a separate
-	// pair because evictions fire while a block's migration list is
-	// being staged is impossible today, but the split keeps the
-	// lifetimes trivially disjoint).
+	// pageIdx/migrate/spans are the transfer step's migration staging;
+	// evictPages/evictSpans are evictOne's writeback staging.
 	pageIdx    []int
 	migrate    []mem.PageID
 	spans      []mem.Span
@@ -156,6 +167,13 @@ type Driver struct {
 	// AdaptiveBatch is off).
 	effBatch int
 
+	// evict/planner/sizer are the policies resolved from the registry at
+	// construction (registry.go): victim selection, migration planning,
+	// and effective-batch-size adjustment.
+	evict   EvictionStrategy
+	planner PrefetchPlanner
+	sizer   BatchSizer
+
 	evictRNG *sim.RNG
 	inj      *faultinject.Injector
 
@@ -170,9 +188,13 @@ type Driver struct {
 	// length check.
 	onBatch []func(id int, rec *trace.BatchRecord)
 
-	// scratch is the pooled per-batch working state; batches never
-	// overlap on one driver (inBatch guards), so reuse is safe.
+	// scratch/batch/block are the pooled per-batch working state of the
+	// stage pipeline; batches never overlap on one driver (inBatch
+	// guards), so reuse is safe. Stages own them only between
+	// serviceBatch entry and the replay completion callback.
 	scratch batchScratch
+	batch   batchCtx
+	block   blockCtx
 
 	Collector *trace.Collector
 	stats     Stats
@@ -195,6 +217,9 @@ func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Li
 		nextAlloc: mem.VABlockSize, // keep address 0 unused
 		sleeping:  true,
 		effBatch:  cfg.BatchSize,
+		evict:     resolveEvictionStrategy(cfg.Eviction),
+		planner:   resolvePrefetchPlanner(cfg),
+		sizer:     resolveBatchSizer(cfg),
 		evictRNG:  sim.NewRNG(cfg.EvictionSeed),
 		Collector: &trace.Collector{},
 	}, nil
@@ -378,488 +403,3 @@ func (d *Driver) ChunksInUse() int { return d.pmm.InUse() }
 
 // MemoryStats returns the physical allocator statistics.
 func (d *Driver) MemoryStats() gpumem.Stats { return d.pmm.Stats() }
-
-// onInterrupt is the device's interrupt line: wake the worker if asleep.
-func (d *Driver) onInterrupt() {
-	if !d.sleeping {
-		d.stats.SpuriousWakeUps++
-		return
-	}
-	d.sleeping = false
-	d.stats.WakeUps++
-	d.eng.Schedule(d.cfg.Costs.WakeupLatency, d.startBatch)
-}
-
-// startBatch opens a batch: acquire the (possibly shared) service slot,
-// charge setup, then drain the buffer.
-func (d *Driver) startBatch() {
-	if d.inBatch {
-		return
-	}
-	if d.dev.Buffer.Len() == 0 {
-		d.sleeping = true
-		return
-	}
-	d.inBatch = true
-	if d.arbiter != nil {
-		d.arbiter.Acquire(d.beginBatch)
-		return
-	}
-	d.beginBatch()
-}
-
-// beginBatch runs once the service slot is held.
-func (d *Driver) beginBatch() {
-	start := d.eng.Now()
-	d.eng.Schedule(d.cfg.Costs.BatchSetup, func() {
-		d.fetchLoop(start, nil, 0)
-	})
-}
-
-// fetchLoop reads fault records until the batch limit is reached or the
-// buffer stays empty — the default retrieval policy (§2.2). Reading takes
-// time, so faults arriving during the drain extend the batch.
-func (d *Driver) fetchLoop(start sim.Time, faults []gpu.Fault, tFetch sim.Time) {
-	got := d.dev.Buffer.Fetch(d.effBatch - len(faults))
-	faults = append(faults, got...)
-	cost := sim.Time(len(got)) * d.cfg.Costs.FetchPerFault
-	tFetch += cost
-	d.eng.Schedule(cost, func() {
-		if len(faults) < d.effBatch && d.dev.Buffer.Len() > 0 {
-			d.fetchLoop(start, faults, tFetch)
-			return
-		}
-		d.serviceBatch(start, faults, tFetch)
-	})
-}
-
-// serviceBatch performs the whole servicing pipeline, computes its
-// virtual-time cost, and schedules the replay at batch end.
-func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Time) {
-	rec := trace.BatchRecord{
-		Start:     start,
-		RawFaults: len(faults),
-		TFetch:    tFetch,
-	}
-	if d.dev != nil {
-		rec.FaultsPerSM = make([]uint16, d.dev.Config().NumSMs)
-	}
-
-	// --- Dedup (§4.2): classify duplicates by µTLB of origin. ---
-	sc := &d.scratch
-	sc.reset(len(faults))
-	for _, f := range faults {
-		rec.FaultsPerSM[f.SM]++
-		if firstUTLB, ok := sc.seen[f.Page]; ok {
-			if f.UTLB == firstUTLB {
-				rec.Type1Dups++
-			} else {
-				rec.Type2Dups++
-			}
-			continue
-		}
-		sc.seen[f.Page] = f.UTLB
-		sc.uniq = append(sc.uniq, f.Page)
-	}
-	rec.TDedup = sim.Time(len(faults)) * d.cfg.Costs.DedupPerFault
-	rec.UniquePages = len(sc.uniq)
-
-	// Group unique, non-stale pages by VABlock, in ascending order: the
-	// driver processes all batch faults within one VABlock together.
-	// Sorted pages make each VABlock's group a contiguous run of
-	// nonStale, so no per-block map is needed.
-	sort.Slice(sc.uniq, func(i, j int) bool { return sc.uniq[i] < sc.uniq[j] })
-	for _, p := range sc.uniq {
-		if d.IsResidentOnGPU(p) {
-			rec.StalePages++
-			d.stats.StaleFaults++
-			continue
-		}
-		if b := p.VABlock(); len(sc.blockOrder) == 0 || sc.blockOrder[len(sc.blockOrder)-1] != b {
-			sc.blockOrder = append(sc.blockOrder, b)
-		}
-		sc.nonStale = append(sc.nonStale, p)
-	}
-	rec.VABlocks = len(sc.blockOrder)
-
-	// Raw fault distribution over VABlocks (Table 3): counts include
-	// duplicates, in ascending block order.
-	for _, f := range faults {
-		sc.rawPerBlock[f.Page.VABlock()]++
-	}
-	for b := range sc.rawPerBlock {
-		sc.rawBlocks = append(sc.rawBlocks, b)
-	}
-	sort.Slice(sc.rawBlocks, func(i, j int) bool { return sc.rawBlocks[i] < sc.rawBlocks[j] })
-	rec.VABlockFaults = make([]uint16, len(sc.rawBlocks))
-	for i, b := range sc.rawBlocks {
-		n := sc.rawPerBlock[b]
-		if n > 65535 {
-			n = 65535
-		}
-		rec.VABlockFaults[i] = uint16(n)
-	}
-
-	// --- Per-VABlock servicing. ---
-	for _, bid := range sc.blockOrder {
-		sc.inThisBatch[bid] = true
-	}
-	rec.ServicedBlocks = append(rec.ServicedBlocks, sc.blockOrder...)
-	var total sim.Time
-	total += d.cfg.Costs.BatchSetup + tFetch + rec.TDedup
-	for lo := 0; lo < len(sc.nonStale); {
-		bid := sc.nonStale[lo].VABlock()
-		hi := lo + 1
-		for hi < len(sc.nonStale) && sc.nonStale[hi].VABlock() == bid {
-			hi++
-		}
-		c, err := d.serviceBlock(bid, sc.nonStale[lo:hi], sc.inThisBatch, &rec)
-		if err != nil {
-			d.fail(err)
-			return
-		}
-		sc.blockCosts = append(sc.blockCosts, c)
-		lo = hi
-	}
-	// Cross-VABlock prefetch (§6 extension): eagerly migrate blocks
-	// following fully-resident faulting blocks.
-	if d.cfg.CrossBlockPrefetch > 0 {
-		cs, err := d.crossBlockPrefetch(sc.blockOrder, sc.inThisBatch, &rec)
-		if err != nil {
-			d.fail(err)
-			return
-		}
-		sc.blockCosts = append(sc.blockCosts, cs...)
-	}
-	// The shipped driver services blocks serially; with ServiceWorkers
-	// > 1 the batch's block time is the parallel makespan (§6's proposed
-	// parallelization — imbalance across VABlocks limits the gain).
-	total += makespan(sc.blockCosts, d.cfg.ServiceWorkers, d.cfg.LoadBalanceLPT, d.cfg.WorkerSync)
-
-	// --- Replay. ---
-	rec.TReplay = d.cfg.Costs.ReplayCost
-	total += rec.TReplay
-
-	d.eng.Schedule(total-tFetch-d.cfg.Costs.BatchSetup, func() {
-		d.dev.Buffer.Flush()
-		d.dev.Replay()
-		rec.End = d.eng.Now()
-		id := d.Collector.AddBatch(rec)
-		d.Collector.AddFaults(id, faults)
-		d.updateAdaptiveBatch(&rec)
-		d.batchCount++
-		d.stats.Batches++
-		d.stats.TotalFaults += len(faults)
-		d.inBatch = false
-		if d.arbiter != nil {
-			d.arbiter.Release()
-		}
-		for _, fn := range d.onBatch {
-			fn(id, &d.Collector.Batches[id])
-		}
-		// Service the next batch if faults are already waiting;
-		// otherwise sleep until the next interrupt.
-		d.startBatch()
-	})
-}
-
-// fail aborts the run with err as its terminal error, releasing the
-// shared service slot so diagnostics from other drivers stay coherent.
-func (d *Driver) fail(err error) {
-	d.inBatch = false
-	if d.arbiter != nil {
-		d.arbiter.Release()
-	}
-	d.eng.Fail(err)
-}
-
-// serviceBlock services one VABlock's faulted pages and returns its cost.
-func (d *Driver) serviceBlock(bid mem.VABlockID, pages []mem.PageID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
-	cost := d.cfg.Costs.PerVABlock
-	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
-
-	b := d.blocks[bid]
-	if b == nil {
-		b = &blockState{id: bid}
-		d.blocks[bid] = b
-	}
-
-	// Backing chunk: allocate, evicting if device memory is full.
-	if !b.hasChunk {
-		id, ok := d.pmm.Alloc(bid)
-		for !ok {
-			c, err := d.evictOne(bid, inThisBatch, rec)
-			cost += c
-			if err != nil {
-				return cost, err
-			}
-			id, ok = d.pmm.Alloc(bid)
-		}
-		b.hasChunk = true
-		b.chunk = id
-		b.allocSeq = d.nextSeq
-		d.nextSeq++
-		d.allocated = append(d.allocated, b)
-	}
-	b.lastTouch = d.batchCount
-
-	// Compulsory first-touch DMA mapping setup for the whole block
-	// (§5.2), dominated by radix-tree work in hostos.
-	if !b.dmaMapped {
-		t := d.vm.MapDMA(bid)
-		cost += t
-		rec.TDMAMap += t
-		rec.NewDMABlocks++
-		b.dmaMapped = true
-	}
-
-	// CPU unmapping: the GPU touched a block partially resident on the
-	// host (§4.4).
-	if d.vm.CPUMappedPages(bid) > 0 {
-		t, n := d.vm.UnmapMappingRange(bid)
-		cost += t
-		rec.TUnmap += t
-		rec.UnmapPages += n
-	}
-
-	// Faulted page set within the block.
-	var faulted mem.PageSet
-	for _, p := range pages {
-		faulted.Set(p.IndexInBlock())
-	}
-
-	// Prefetch within the block (§5.2).
-	var toMigrate mem.PageSet
-	toMigrate.Union(&faulted)
-	if d.cfg.PrefetchEnabled {
-		extra := PrefetchPages(&b.resident, &faulted, d.cfg.PrefetchThreshold, d.cfg.Upgrade64K)
-		nExtra := extra.Count()
-		rec.PrefetchedPages += nExtra
-		d.stats.PrefetchedPages += nExtra
-		toMigrate.Union(&extra)
-	}
-
-	// Page population: zero-fill pages becoming resident for the first
-	// time (§5.1).
-	var newPages mem.PageSet
-	newPages.Union(&toMigrate)
-	newPages.Subtract(&b.populated)
-	if n := newPages.Count(); n > 0 {
-		t, err := d.populateWithRetry(bid, n, inThisBatch, rec)
-		cost += t
-		if err != nil {
-			return cost, err
-		}
-	}
-
-	// Migration: coalesce into spans and move over the link. The staging
-	// buffers are batch scratch: nothing below retains them (the record
-	// copies span values), and no eviction can fire past this point.
-	sc := &d.scratch
-	sc.pageIdx = toMigrate.Indices(sc.pageIdx[:0])
-	sc.migrate = sc.migrate[:0]
-	for _, pi := range sc.pageIdx {
-		sc.migrate = append(sc.migrate, bid.PageAt(pi))
-	}
-	migrating := sc.migrate
-	spans := mem.CoalescePagesInto(sc.spans[:0], migrating)
-	sc.spans = spans
-	t, err := d.transferWithRetry(bid, spans, rec)
-	cost += t
-	if err != nil {
-		return cost, err
-	}
-	rec.TTransfer += t
-	rec.PagesMigrated += len(migrating)
-	rec.BytesMigrated += uint64(len(migrating)) * mem.PageSize
-	d.stats.MigratedPages += len(migrating)
-	rec.ServicedSpans = append(rec.ServicedSpans, spans...)
-
-	// GPU page-table updates.
-	pt := sim.Time(len(migrating)) * d.cfg.Costs.PageTablePerPage
-	cost += pt
-	rec.TPageTable += pt
-
-	// Mark residency.
-	b.resident.Union(&toMigrate)
-	b.populated.Union(&toMigrate)
-	return cost, nil
-}
-
-// populateWithRetry asks the host OS to populate n pages of block bid,
-// degrading gracefully on injected allocation failures: each failure
-// shrinks the effective batch size and sheds one device chunk (relieving
-// the memory pressure the failure models) before retrying, up to the
-// injector's budget. The accumulated cost includes the forced evictions.
-func (d *Driver) populateWithRetry(bid mem.VABlockID, n int, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
-	var cost, popCost sim.Time
-	budget := d.inj.HostAllocRetryBudget()
-	for attempt := 0; ; attempt++ {
-		t, err := d.vm.Populate(n)
-		cost += t
-		popCost += t
-		if err == nil {
-			if attempt > 0 {
-				d.inj.NoteRecovered(faultinject.HostAlloc)
-			}
-			// Forced-eviction cost is already in rec.TEvict; only the
-			// population time lands in TPopulate.
-			rec.TPopulate += popCost
-			return cost, nil
-		}
-		d.stats.HostAllocFailures++
-		rec.InjHostAllocFails++
-		if attempt >= budget {
-			d.inj.NoteUnrecovered(faultinject.HostAlloc)
-			return cost, fmt.Errorf("uvm: populating %d pages of block %d (attempt %d): %w",
-				n, bid, attempt+1, err)
-		}
-		d.inj.NoteRetried(faultinject.HostAlloc)
-		d.shrinkBatch()
-		if d.hasEvictionCandidate(bid) {
-			c, eerr := d.evictOne(bid, inThisBatch, rec)
-			cost += c
-			if eerr != nil {
-				return cost, eerr
-			}
-		}
-	}
-}
-
-// shrinkBatch halves the effective batch size down to the adaptive floor,
-// the driver's batch-pressure response to host allocation failure. With
-// AdaptiveBatch enabled, later duplicate-light batches grow it back.
-func (d *Driver) shrinkBatch() {
-	floor := d.cfg.AdaptiveMin
-	if floor < 1 {
-		floor = 1
-	}
-	if d.effBatch <= floor {
-		return
-	}
-	d.effBatch /= 2
-	if d.effBatch < floor {
-		d.effBatch = floor
-	}
-	d.stats.BatchShrinks++
-}
-
-// hasEvictionCandidate reports whether any allocated block other than
-// current could be evicted.
-func (d *Driver) hasEvictionCandidate(current mem.VABlockID) bool {
-	for _, b := range d.allocated {
-		if b.id != current {
-			return true
-		}
-	}
-	return false
-}
-
-// transferWithRetry migrates spans of block bid over the link. Each
-// injected transient failure re-pays the full transfer cost (the link
-// carried the bytes before failing) plus an exponential virtual-time
-// backoff; exhausting the retry budget is fatal. Only the final
-// successful attempt counts toward the batch's migrated bytes.
-func (d *Driver) transferWithRetry(bid mem.VABlockID, spans []mem.Span, rec *trace.BatchRecord) (sim.Time, error) {
-	failures, fatal := d.inj.MigrateFailures()
-	var cost sim.Time
-	for i := 0; i < failures; i++ {
-		cost += d.link.TransferSpans(spans, true)
-		cost += d.inj.MigrateBackoffFor(i)
-		for _, sp := range spans {
-			d.stats.InjMigRetryBytes += sp.Bytes()
-		}
-		d.stats.MigRetries++
-		rec.InjMigFailures++
-	}
-	if fatal {
-		return cost, fmt.Errorf("uvm: migrating block %d: %d transfer attempts failed: %w",
-			bid, failures, ErrMigrationFailed)
-	}
-	return cost + d.link.TransferSpans(spans, true), nil
-}
-
-// evictOne evicts the least-recently-touched block and returns the
-// eviction cost. Blocks being serviced in the current batch are only
-// victims of last resort (evicting them would immediately re-fault), and
-// the block currently allocating is never evicted; if that leaves no
-// victim, the error wraps ErrCapacityExhausted.
-func (d *Driver) evictOne(current mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
-	pick := func(avoidBatch bool) (*blockState, int) {
-		var candidates []int
-		for i, b := range d.allocated {
-			if b.id == current {
-				continue
-			}
-			if avoidBatch && inThisBatch[b.id] {
-				continue
-			}
-			candidates = append(candidates, i)
-		}
-		if len(candidates) == 0 {
-			return nil, -1
-		}
-		vi := candidates[0]
-		switch d.cfg.Eviction {
-		case EvictRandom:
-			vi = candidates[d.evictRNG.Intn(len(candidates))]
-		case EvictFIFO:
-			for _, i := range candidates[1:] {
-				if d.allocated[i].allocSeq < d.allocated[vi].allocSeq {
-					vi = i
-				}
-			}
-		case EvictLFU:
-			read := func(i int) uint64 { return d.dev.Counters.Read(d.allocated[i].id) }
-			for _, i := range candidates[1:] {
-				if read(i) < read(vi) ||
-					(read(i) == read(vi) && d.allocated[i].allocSeq < d.allocated[vi].allocSeq) {
-					vi = i
-				}
-			}
-		default: // EvictLRU
-			for _, i := range candidates[1:] {
-				b, v := d.allocated[i], d.allocated[vi]
-				if b.lastTouch < v.lastTouch ||
-					(b.lastTouch == v.lastTouch && b.allocSeq < v.allocSeq) {
-					vi = i
-				}
-			}
-		}
-		return d.allocated[vi], vi
-	}
-	victim, vi := pick(true)
-	if victim == nil {
-		victim, vi = pick(false)
-	}
-	if victim == nil {
-		return 0, fmt.Errorf("uvm: cannot evict: capacity %d blocks all pinned: %w",
-			d.cfg.CapacityBlocks(), ErrCapacityExhausted)
-	}
-
-	cost := d.cfg.Costs.EvictBase
-	sc := &d.scratch
-	sc.evictPages = victim.resident.Pages(sc.evictPages[:0], victim.id)
-	if len(sc.evictPages) > 0 {
-		// Write back resident pages to the host. The data lands in
-		// host memory but is NOT remapped to the CPU: a later GPU
-		// re-fetch pays no unmap cost (Figure 13's cost levels).
-		spans := mem.CoalescePagesInto(sc.evictSpans[:0], sc.evictPages)
-		sc.evictSpans = spans
-		cost += d.link.TransferSpans(spans, false)
-		cost += sim.Time(len(sc.evictPages)) * d.cfg.Costs.EvictPerPage
-		rec.EvictedBytes += uint64(len(sc.evictPages)) * mem.PageSize
-	}
-	victim.resident.Reset()
-	victim.hasChunk = false
-	d.dev.Counters.Clear(victim.id)
-	d.pmm.Release(victim.chunk)
-	victim.evictions++
-	d.allocated = append(d.allocated[:vi], d.allocated[vi+1:]...)
-
-	rec.Evictions++
-	rec.EvictedBlocks = append(rec.EvictedBlocks, victim.id)
-	rec.TEvict += cost
-	d.stats.Evictions++
-	return cost, nil
-}

@@ -5,7 +5,6 @@ import (
 
 	"guvm/internal/mem"
 	"guvm/internal/sim"
-	"guvm/internal/trace"
 )
 
 // This file implements the driver improvements §6 of the paper proposes:
@@ -54,30 +53,6 @@ func makespan(costs []sim.Time, workers int, lpt bool, syncCost sim.Time) sim.Ti
 	return max + sim.Time(workers-1)*syncCost
 }
 
-// updateAdaptiveBatch adjusts the effective batch size after a batch,
-// implementing the paper's "tune batch size based on the number of
-// duplicate faults received": a duplicate-heavy batch shrinks the cap
-// (fetching dups is wasted work), a duplicate-light full batch grows it
-// back toward the configured maximum.
-func (d *Driver) updateAdaptiveBatch(rec *trace.BatchRecord) {
-	if !d.cfg.AdaptiveBatch || rec.RawFaults == 0 {
-		return
-	}
-	dupFrac := float64(rec.DupFaults()) / float64(rec.RawFaults)
-	switch {
-	case dupFrac > 0.5:
-		d.effBatch /= 2
-		if d.effBatch < d.cfg.AdaptiveMin {
-			d.effBatch = d.cfg.AdaptiveMin
-		}
-	case dupFrac < 0.2 && rec.RawFaults >= d.effBatch:
-		d.effBatch *= 2
-		if d.effBatch > d.cfg.BatchSize {
-			d.effBatch = d.cfg.BatchSize
-		}
-	}
-}
-
 // EffectiveBatchSize returns the current adaptive batch cap.
 func (d *Driver) EffectiveBatchSize() int { return d.effBatch }
 
@@ -110,121 +85,4 @@ func (d *Driver) spanOf(bid mem.VABlockID) (allocSpan, bool) {
 		}
 	}
 	return allocSpan{}, false
-}
-
-// crossBlockPrefetch migrates up to CrossBlockPrefetch whole blocks
-// following each fully-resident faulting block of the batch, within the
-// same allocation. It returns the per-block costs of the eager
-// migrations. This trades upfront work (and possible evictions — the
-// §5.3 hazard) for eliminating future first-touch batches.
-func (d *Driver) crossBlockPrefetch(blockOrder []mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) ([]sim.Time, error) {
-	var costs []sim.Time
-	for _, bid := range blockOrder {
-		b := d.blocks[bid]
-		if b == nil || !b.resident.Full() {
-			continue
-		}
-		sp, ok := d.spanOf(bid)
-		if !ok {
-			continue
-		}
-		for n := 1; n <= d.cfg.CrossBlockPrefetch; n++ {
-			next := bid + mem.VABlockID(n)
-			if next > sp.last {
-				break
-			}
-			nb := d.blocks[next]
-			if nb != nil && nb.resident.Any() {
-				break // already (partially) resident: stop the run
-			}
-			if inThisBatch[next] {
-				break
-			}
-			c, err := d.migrateWholeBlock(next, inThisBatch, rec)
-			if err != nil {
-				return costs, err
-			}
-			costs = append(costs, c)
-			inThisBatch[next] = true
-		}
-	}
-	return costs, nil
-}
-
-// migrateWholeBlock eagerly migrates all 512 pages of a block, paying the
-// same pipeline a faulting block would (allocation/eviction, DMA setup,
-// unmapping, population, transfer, page tables) and accounting the pages
-// as prefetched.
-func (d *Driver) migrateWholeBlock(bid mem.VABlockID, inThisBatch map[mem.VABlockID]bool, rec *trace.BatchRecord) (sim.Time, error) {
-	cost := d.cfg.Costs.PerVABlock
-	rec.TBlockMgmt += d.cfg.Costs.PerVABlock
-
-	b := d.blocks[bid]
-	if b == nil {
-		b = &blockState{id: bid}
-		d.blocks[bid] = b
-	}
-	if !b.hasChunk {
-		id, ok := d.pmm.Alloc(bid)
-		for !ok {
-			c, err := d.evictOne(bid, inThisBatch, rec)
-			cost += c
-			if err != nil {
-				return cost, err
-			}
-			id, ok = d.pmm.Alloc(bid)
-		}
-		b.hasChunk = true
-		b.chunk = id
-		b.allocSeq = d.nextSeq
-		d.nextSeq++
-		d.allocated = append(d.allocated, b)
-	}
-	b.lastTouch = d.batchCount
-	if !b.dmaMapped {
-		t := d.vm.MapDMA(bid)
-		cost += t
-		rec.TDMAMap += t
-		rec.NewDMABlocks++
-		b.dmaMapped = true
-	}
-	if d.vm.CPUMappedPages(bid) > 0 {
-		t, n := d.vm.UnmapMappingRange(bid)
-		cost += t
-		rec.TUnmap += t
-		rec.UnmapPages += n
-	}
-	var newPages mem.PageSet
-	newPages.SetAll()
-	newPages.Subtract(&b.populated)
-	if n := newPages.Count(); n > 0 {
-		t, err := d.populateWithRetry(bid, n, inThisBatch, rec)
-		cost += t
-		if err != nil {
-			return cost, err
-		}
-	}
-	spans := []mem.Span{{First: bid.FirstPage(), Count: mem.PagesPerVABlock}}
-	t, err := d.transferWithRetry(bid, spans, rec)
-	cost += t
-	if err != nil {
-		return cost, err
-	}
-	rec.TTransfer += t
-	rec.PagesMigrated += mem.PagesPerVABlock
-	rec.BytesMigrated += mem.VABlockSize
-	rec.PrefetchedPages += mem.PagesPerVABlock
-	rec.ServicedSpans = append(rec.ServicedSpans, spans...)
-	rec.ServicedBlocks = append(rec.ServicedBlocks, bid)
-	d.stats.MigratedPages += mem.PagesPerVABlock
-	d.stats.PrefetchedPages += mem.PagesPerVABlock
-	d.stats.CrossBlockPages += mem.PagesPerVABlock
-
-	pt := sim.Time(mem.PagesPerVABlock) * d.cfg.Costs.PageTablePerPage
-	cost += pt
-	rec.TPageTable += pt
-
-	b.resident.SetAll()
-	b.populated.SetAll()
-	return cost, nil
 }

@@ -140,20 +140,20 @@ func TestAdaptiveBatchShrinksOnDuplicates(t *testing.T) {
 func TestAdaptiveBatchGrowsBack(t *testing.T) {
 	d := &Driver{cfg: Config{AdaptiveBatch: true, AdaptiveMin: 32, BatchSize: 256}, effBatch: 64}
 	rec := batchRec(64, 2) // full batch, 3% dups
-	d.updateAdaptiveBatch(rec)
+	adaptiveSizer{}.Update(d, rec)
 	if d.effBatch != 128 {
 		t.Fatalf("effBatch = %d, want 128", d.effBatch)
 	}
-	d.updateAdaptiveBatch(batchRec(128, 3))
+	adaptiveSizer{}.Update(d, batchRec(128, 3))
 	if d.effBatch != 256 {
 		t.Fatalf("effBatch = %d, want 256 (capped)", d.effBatch)
 	}
-	d.updateAdaptiveBatch(batchRec(256, 4))
+	adaptiveSizer{}.Update(d, batchRec(256, 4))
 	if d.effBatch != 256 {
 		t.Fatalf("effBatch = %d, want to stay at max", d.effBatch)
 	}
 	// A dup-heavy batch halves it.
-	d.updateAdaptiveBatch(batchRec(256, 200))
+	adaptiveSizer{}.Update(d, batchRec(256, 200))
 	if d.effBatch != 128 {
 		t.Fatalf("effBatch = %d, want 128 after dup storm", d.effBatch)
 	}
@@ -249,7 +249,7 @@ func TestEvictionPolicies(t *testing.T) {
 func TestEvictionPolicyString(t *testing.T) {
 	if EvictLRU.String() != "lru" || EvictFIFO.String() != "fifo" ||
 		EvictRandom.String() != "random" || EvictLFU.String() != "lfu" ||
-		EvictionPolicy(9).String() != "unknown" {
+		EvictionPolicy("clock").String() != "unknown" {
 		t.Fatal("policy names wrong")
 	}
 }

@@ -42,6 +42,9 @@ func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("guvm: %d devices, need at least one", n)
 	}
+	if err := cfg.Policies.Apply(&cfg.Driver); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	eng.MaxEvents = cfg.MaxEvents
 	eng.MaxStallEvents = cfg.MaxStallEvents

@@ -1,8 +1,10 @@
 package guvm
 
 import (
+	"errors"
 	"testing"
 
+	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
 
@@ -102,6 +104,75 @@ func TestMultiSimulatorValidation(t *testing.T) {
 	}
 	if _, err := NewMultiSimulator(cfg, 0); err == nil {
 		t.Fatal("0 devices accepted")
+	}
+}
+
+// TestMultiSimulatorNamedPolicies drives the shared-arbiter path through a
+// named policy combination (fifo eviction + cross-block prefetch +
+// adaptive batch sizing) on two contending devices, and requires two runs
+// to produce bit-identical per-device digest streams: the staged pipeline
+// stays deterministic when the Arbiter serializes it and every §6
+// extension is selected by registry name.
+func TestMultiSimulatorNamedPolicies(t *testing.T) {
+	cfg := testConfig()
+	cfg.Driver.GPUMemBytes = 6 << 20 // 8 MB stream: eviction active per device
+	cfg.Policies = uvm.PolicySelection{
+		Eviction:    "fifo",
+		Prefetch:    "cross-block",
+		BatchSizing: "adaptive",
+	}
+	cfg.Audit.Enabled = true
+	cfg.Audit.Interval = 1
+
+	runOnce := func() []*Result {
+		m := mustMulti(t, cfg, 2)
+		// The selection must land on every driver's resolved config.
+		for i, d := range m.Drivers {
+			if got := d.Config().Eviction; got != uvm.EvictFIFO {
+				t.Fatalf("driver %d eviction = %q, want fifo", i, got)
+			}
+			if !d.Config().AdaptiveBatch || d.Config().CrossBlockPrefetch < 1 {
+				t.Fatalf("driver %d policies not applied: %+v", i, d.Config())
+			}
+		}
+		rs, err := m.RunConcurrent([]workloads.Workload{
+			workloads.NewStream(8<<20, 16),
+			workloads.NewStream(8<<20, 16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i].DriverStats.Evictions == 0 {
+			t.Fatalf("device %d: no evictions — the fifo policy never ran", i)
+		}
+		as, bs := a[i].Audit.Snapshots, b[i].Audit.Snapshots
+		if len(as) == 0 || len(as) != len(bs) {
+			t.Fatalf("device %d: snapshot streams %d vs %d", i, len(as), len(bs))
+		}
+		for j := range as {
+			if as[j].Combined != bs[j].Combined {
+				t.Fatalf("device %d: digest diverged at batch %d: %016x vs %016x",
+					i, as[j].Batch, as[j].Combined, bs[j].Combined)
+			}
+		}
+		if a[i].Audit.FinalDigest != b[i].Audit.FinalDigest {
+			t.Fatalf("device %d: final digests differ", i)
+		}
+	}
+}
+
+// TestMultiSimulatorRejectsUnknownPolicy mirrors the single-GPU
+// constructor: an unregistered policy name fails fast with the typed
+// registry error before any device is built.
+func TestMultiSimulatorRejectsUnknownPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policies.Eviction = "clock"
+	if _, err := NewMultiSimulator(cfg, 2); !errors.Is(err, uvm.ErrUnknownPolicy) {
+		t.Fatalf("err = %v, want ErrUnknownPolicy", err)
 	}
 }
 

@@ -6,16 +6,16 @@
 # and BenchmarkEngineDispatch (the event loop, internal/sim) — with
 # -benchmem and writes a JSON report holding the measured ns/op, B/op and
 # allocs/op next to the frozen PR-3 numbers, so every PR from here on has
-# a performance trajectory to compare against (the PR4 acceptance bar is
-# that disabled-observability BenchmarkBatchService allocs/op matches the
-# PR-3 baseline; TestBatchServiceAllocGuard enforces it).
+# a performance trajectory to compare against (the PR5 acceptance bar is
+# that the staged-pipeline BenchmarkBatchService stays at or below the
+# frozen PR-3 allocs/op; TestBatchServiceAllocGuard enforces it).
 #
-# Usage: scripts/bench.sh [-quick] [-out BENCH_pr4.json]
+# Usage: scripts/bench.sh [-quick] [-out BENCH_pr5.json]
 #   -quick   CI smoke mode: one benchmark iteration each, just enough to
 #            prove the benchmarks run and the JSON pipeline works.
 set -eu
 
-out=BENCH_pr4.json
+out=BENCH_pr5.json
 benchtime=2s
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -46,7 +46,7 @@ awk -v quick="$benchtime" '
   END {
     baseline["BenchmarkBatchService"]   = "{\"ns_per_op\": 5634438, \"bytes_per_op\": 2221339, \"allocs_per_op\": 39444}"
     baseline["BenchmarkEngineDispatch"] = "{\"ns_per_op\": 88.71, \"bytes_per_op\": 0, \"allocs_per_op\": 0}"
-    printf "{\n  \"pr\": 4,\n  \"benchtime\": \"%s\",\n", quick
+    printf "{\n  \"pr\": 5,\n  \"benchtime\": \"%s\",\n", quick
     printf "  \"baseline_pr3\": {\n"
     printf "    \"BenchmarkBatchService\": %s,\n", baseline["BenchmarkBatchService"]
     printf "    \"BenchmarkEngineDispatch\": %s\n  },\n", baseline["BenchmarkEngineDispatch"]

@@ -4,6 +4,7 @@
 # workloads. Run from the repository root (or via `make check`).
 set -eux
 go vet ./...
+./scripts/lint.sh
 go build ./...
 go test -race ./...
 

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Structural lint for the staged batch pipeline (PR 5). The driver
+# decomposition is load-bearing — digest goldens prove behaviour, this
+# gate proves structure: every stage file exists, the driver core stays a
+# core (no stage logic creeping back into driver.go), and policy knobs are
+# selected through the registry, not poked directly from the CLIs.
+# Run from the repository root (scripts/check.sh and CI both do).
+set -eu
+
+fail() { echo "lint: $*" >&2; status=1; }
+status=0
+
+# 1. The pipeline decomposition: one file per stage plus the shared
+#    context/registry seams. A missing file means a refactor quietly
+#    re-merged a stage into the monolith.
+for f in pipeline.go fetch.go dedup.go prefetchplan.go residency.go \
+         transfer.go replay.go registry.go; do
+  [ -f "internal/uvm/$f" ] || fail "missing pipeline stage file internal/uvm/$f"
+done
+
+# 2. driver.go stays the thin core: construction, allocation API and
+#    state. 500 lines is generous headroom over its current ~400; hitting
+#    this bound means stage logic is accreting in the wrong file.
+lines=$(wc -l < internal/uvm/driver.go)
+if [ "$lines" -gt 500 ]; then
+  fail "internal/uvm/driver.go is $lines lines (>500): stage logic belongs in the per-stage files"
+fi
+
+# 3. Stage entry points live in their stage files, not in driver.go.
+for sym in 'dedupStage' 'serviceStage' 'crossBlockStage' 'replayStage' \
+           'residencyStep' 'prefetchPlanStep' 'populateStep' 'transferStep'; do
+  if grep -q "func ($sym)" internal/uvm/driver.go 2>/dev/null; then
+    fail "stage method $sym defined in driver.go; move it to its stage file"
+  fi
+done
+grep -q 'var batchStages' internal/uvm/pipeline.go || fail "pipeline.go lost the batchStages stage graph"
+grep -q 'var blockSteps' internal/uvm/pipeline.go || fail "pipeline.go lost the blockSteps stage graph"
+
+# 4. CLIs select policies by registry name (SystemConfig.Policies), never
+#    by writing the eviction knob directly — direct writes bypass the
+#    unknown-name validation and the -list-policies contract.
+for cli in uvmsim uvmsweep faultviz paperfigs; do
+  if grep -qn 'Driver\.Eviction[[:space:]]*=' "cmd/$cli/main.go"; then
+    fail "cmd/$cli sets Driver.Eviction directly; route it through Policies (the registry)"
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  exit 1
+fi
+echo "lint: pipeline structure OK"
