@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"guvm/internal/experiments"
@@ -37,6 +40,12 @@ func main() {
 	prefetchPol := flag.String("prefetch-policy", "", "override the prefetch policy (registry name) in every experiment's base profile")
 	sizingPol := flag.String("batch-sizing", "", "override the batch-sizing policy (registry name) in every experiment's base profile")
 	flag.Parse()
+
+	// Graceful drain: SIGINT/SIGTERM stops scheduling new experiments;
+	// in-flight generators finish and their artifacts are still written,
+	// so the output directory and NOTES.md hold a clean prefix of the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Overrides reach experiments through the shared base profile; an
 	// experiment that ablates a policy dimension still sweeps it (the
@@ -84,7 +93,7 @@ func main() {
 
 	var summary strings.Builder
 	var failed []string
-	experiments.RunParallel(gens, *jobs, func(r experiments.RunResult) {
+	interrupted := experiments.RunParallel(ctx, gens, *jobs, func(r experiments.RunResult) {
 		fmt.Printf("== %s: %s\n", r.Gen.ID, r.Gen.Title)
 		if harness != nil {
 			end := sim.Time(time.Since(progStart).Nanoseconds())
@@ -144,6 +153,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d experiment(s) failed: %s\n",
 			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
+	}
+	if interrupted != nil {
+		// Partial artifacts and NOTES.md were flushed above; report the
+		// truncation and exit non-zero so callers never mistake a drained
+		// run for a complete one.
+		fmt.Fprintf(os.Stderr, "paperfigs: interrupted (%v): output holds a partial run\n", interrupted)
+		os.Exit(130)
 	}
 }
 

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"guvm/internal/sweepd"
+)
+
+// daemon wraps one sweepd process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	mu   sync.Mutex
+	buf  strings.Builder
+	done chan struct{} // closed once stderr hits EOF (process gone)
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func (d *daemon) stderr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.buf.String()
+}
+
+// wait blocks until the stderr pipe drains (so no reads race Wait's
+// pipe close) and then reaps the process.
+func (d *daemon) wait() error {
+	<-d.done
+	return d.cmd.Wait()
+}
+
+// startDaemon launches the prebuilt binary and scrapes the bound address
+// from its "sweepd: serving on ..." stderr line.
+func startDaemon(t *testing.T, bin, storeDir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-store", storeDir, "-jobs", "2"}, extra...)
+	cmd := exec.Command(bin, args...)
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan struct{})}
+	addrc := make(chan string, 1)
+	go func() {
+		defer close(d.done)
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.buf.WriteString(line + "\n")
+			d.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "sweepd: serving on "); ok {
+				select {
+				case addrc <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrc:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never announced its address; stderr:\n%s", d.stderr())
+	}
+	return d
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, b, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestChaosKillAndRecover is the end-to-end crash drill against the real
+// binary: start sweepd with slow-point injection (so the sweep has
+// runway), submit a grid, SIGKILL the daemon mid-sweep, restart it on
+// the same store, and require that
+//
+//   - the journal replays and the job resumes under its original ID,
+//   - points finished before the kill come back as cache hits,
+//   - every state digest equals a fresh in-process simulation — the
+//     crash changed durability, never results.
+func TestChaosKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "sweepd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	storeDir := filepath.Join(tmp, "store")
+
+	// Phase 1: a daemon whose points each dawdle 300ms, so the kill lands
+	// mid-sweep with certainty.
+	d1 := startDaemon(t, bin, storeDir,
+		"-inject-slow-rate", "1", "-inject-slow-delay", "300ms")
+	defer d1.cmd.Process.Kill()
+
+	spec := `{"workload":"stream","mb":1,"batches":[128,256],"caps_mb":[2,32]}` // 4 points
+	resp, err := http.Post(d1.url("/sweep/jobs"), "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view sweepd.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || view.Points != 4 {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, view)
+	}
+
+	// Wait until at least one point is durable but the job is not done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var v sweepd.JobView
+		getJSON(t, d1.url("/sweep/jobs/"+view.ID), &v)
+		if v.State == sweepd.JobDone {
+			t.Fatal("job finished before the kill; slow injection did not bite")
+		}
+		if v.Completed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no point completed; stderr:\n%s", d1.stderr())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL: no drain, no journal finish, no goodbye.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.wait()
+
+	// Phase 2: restart on the same store, no injection.
+	d2 := startDaemon(t, bin, storeDir)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM)
+		d2.wait()
+	}()
+	if !strings.Contains(d2.stderr(), "recovered") {
+		t.Fatalf("restart did not report recovery; stderr:\n%s", d2.stderr())
+	}
+
+	// The killed job resumes under its original ID and completes.
+	var fin sweepd.JobView
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, d2.url("/sweep/jobs/"+view.ID), &fin); code != http.StatusOK {
+			t.Fatalf("job %s after restart: HTTP %d", view.ID, code)
+		}
+		if fin.State == sweepd.JobDone || fin.State == sweepd.JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %s", fin.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fin.State != sweepd.JobDone {
+		t.Fatalf("recovered job = %+v; stderr:\n%s", fin, d2.stderr())
+	}
+	if !fin.Recovered {
+		t.Fatal("job not flagged recovered")
+	}
+	if fin.Cached < 1 {
+		t.Fatalf("no cache hits after recovery (cached=%d): pre-kill work was lost", fin.Cached)
+	}
+
+	// Stream the full result set and hold every digest against a fresh
+	// in-process simulation: cache hits must be bit-identical.
+	res, err := http.Get(d2.url("/sweep/jobs/" + view.ID + "/results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var rows []sweepd.PointRow
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		var row sweepd.PointRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("streamed %d rows, want 4", len(rows))
+	}
+	for i, row := range rows {
+		fresh, state, err := sweepd.SimulatePoint(row.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%016x", state); row.StateDigest != want {
+			t.Fatalf("row %d (cached=%v) state digest %s != fresh %s", i, row.Cached, row.StateDigest, want)
+		}
+		if row.KernelMS != fresh.KernelMS || row.Faults != fresh.Faults || row.Evictions != fresh.Evictions {
+			t.Fatalf("row %d diverged from fresh sim:\n  %+v\n  %+v", i, row, fresh)
+		}
+	}
+
+	// Graceful goodbye: SIGTERM must drain cleanly (exit 0).
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	if err := d2.wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v; stderr:\n%s", err, d2.stderr())
+	}
+	if !strings.Contains(d2.stderr(), "drained cleanly") {
+		t.Fatalf("no clean-drain report; stderr:\n%s", d2.stderr())
+	}
+}

@@ -1,0 +1,144 @@
+// Command sweepd serves sweep-grid jobs over HTTP on top of a crash-safe
+// result store. Clients POST JobSpecs to /sweep/jobs, stream NDJSON
+// results from /sweep/jobs/{id}/results, and watch load-shedding state
+// on /sweep/healthz; the obs endpoints (/metrics, /status, pprof) ride
+// on the same mux.
+//
+// The daemon is built to be killed: every finished point is journaled
+// before it is reported, so after a crash (SIGKILL included) a restart
+// replays the write-ahead log, resumes incomplete jobs under their
+// original IDs, and answers already-computed points from the store with
+// bit-identical state digests. SIGTERM/SIGINT instead drain gracefully:
+// in-flight points finish, queued jobs stay journaled for the next
+// incarnation, and new submissions are shed with 503.
+//
+// The -inject-* flags enable deterministic service-layer fault injection
+// (worker crashes, slow points) for chaos drills; they never perturb
+// simulation results, only scheduling.
+//
+// Usage:
+//
+//	sweepd -addr 127.0.0.1:8080 -store /var/tmp/sweepd
+//	curl -d '{"workload":"stream","mb":64,"caps_mb":[32,64]}' localhost:8080/sweep/jobs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"guvm/internal/faultinject"
+	"guvm/internal/obs"
+	"guvm/internal/sweepd"
+	"guvm/internal/sweepd/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address for the sweep API and obs endpoints")
+		storeDir     = flag.String("store", "sweepd-store", "result store directory (journal + artifacts)")
+		jobs         = flag.Int("jobs", runtime.GOMAXPROCS(0), "sweep-point worker pool width")
+		queueCap     = flag.Int("queue", 8, "max jobs admitted but not yet running")
+		maxPoints    = flag.Int("max-points", 4096, "max grid points in one job")
+		breakerHigh  = flag.Int("breaker-high", 1024, "point backlog that opens the circuit breaker")
+		breakerLow   = flag.Int("breaker-low", 256, "point backlog that closes it again")
+		jobDeadline  = flag.Duration("job-deadline", 10*time.Minute, "default per-job wall-clock deadline")
+		pointTimeout = flag.Duration("point-timeout", time.Minute, "per-point attempt timeout")
+		retries      = flag.Int("retries", 3, "retries per point after the first attempt")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
+		injSeed      = flag.Uint64("inject-seed", 1, "fault-injection seed")
+		injFailRate  = flag.Float64("inject-fail-rate", 0, "probability an attempt is killed (chaos testing)")
+		injFailLimit = flag.Int("inject-fail-limit", 0, "stop killing a point after this many attempts (0 = no limit)")
+		injSlowRate  = flag.Float64("inject-slow-rate", 0, "probability an attempt is delayed (chaos testing)")
+		injSlowDelay = flag.Duration("inject-slow-delay", 0, "delay applied to slowed attempts")
+	)
+	flag.Parse()
+
+	var inj *faultinject.ServiceInjector
+	if *injFailRate > 0 || *injSlowRate > 0 {
+		var err error
+		inj, err = faultinject.NewService(faultinject.ServiceConfig{
+			Seed:           *injSeed,
+			PointFailRate:  *injFailRate,
+			PointFailLimit: *injFailLimit,
+			SlowPointRate:  *injSlowRate,
+			SlowPointDelay: *injSlowDelay,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "sweepd: fault injection armed (fail=%g limit=%d slow=%g/%v seed=%d)\n",
+			*injFailRate, *injFailLimit, *injSlowRate, *injSlowDelay, *injSeed)
+	}
+
+	st, rec, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: journal recovery dropped %d torn byte(s)\n", rec.TruncatedBytes)
+	}
+	if rec.Points > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: recovered %d cached point(s) from %s\n", rec.Points, *storeDir)
+	}
+
+	o := obs.New(obs.Config{SampleInterval: 1})
+	svc := sweepd.New(st, o, inj, sweepd.Config{
+		Workers:         *jobs,
+		QueueCap:        *queueCap,
+		MaxPointsPerJob: *maxPoints,
+		BreakerHigh:     *breakerHigh,
+		BreakerLow:      *breakerLow,
+		JobDeadline:     *jobDeadline,
+		PointTimeout:    *pointTimeout,
+		PointRetries:    *retries,
+		Seed:            *injSeed,
+	})
+	if n, errs := svc.Resume(rec.IncompleteJobs); n > 0 || len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: resumed %d incomplete job(s) from the journal\n", n)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "sweepd: %v\n", e)
+		}
+	}
+	svc.Start()
+
+	srv, err := obs.Serve(*addr, o, svc.Mount)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(1)
+	}
+	// The harness (and humans with -addr :0) scrape the bound address
+	// from this line; keep its shape stable.
+	fmt.Fprintf(os.Stderr, "sweepd: serving on %s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintf(os.Stderr, "sweepd: draining (up to %v)\n", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(dctx)
+	// Shut the listener down after the drain so /healthz answers 503 (not
+	// connection refused) while in-flight points finish.
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: close store: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: drained cleanly")
+}

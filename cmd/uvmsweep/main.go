@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"guvm"
 	"guvm/internal/experiments"
@@ -40,26 +43,6 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
-func buildWorkload(name string, mb uint64, n int, seed uint64) (func() workloads.Workload, error) {
-	switch name {
-	case "stream":
-		return func() workloads.Workload { return workloads.NewStream(mb<<20, 24) }, nil
-	case "regular":
-		return func() workloads.Workload { return workloads.NewRegular(mb<<20, 160) }, nil
-	case "random":
-		return func() workloads.Workload { return workloads.NewRandom(mb<<20, 160, 300, seed) }, nil
-	case "sgemm":
-		return func() workloads.Workload { return workloads.NewSGEMM(n) }, nil
-	case "gauss-seidel":
-		return func() workloads.Workload { return workloads.NewGaussSeidel(n, 3) }, nil
-	case "hpgmg":
-		return func() workloads.Workload { return workloads.NewHPGMG(mb<<20, 1) }, nil
-	case "spmv":
-		return func() workloads.Workload { return workloads.NewSpMV(n*n/64, 16, seed) }, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
-}
-
 func main() {
 	var (
 		name     = flag.String("workload", "gauss-seidel", "workload to sweep")
@@ -77,7 +60,13 @@ func main() {
 	)
 	flag.Parse()
 
-	mk, err := buildWorkload(*name, *mb, *n, *seed)
+	// Graceful drain: SIGINT/SIGTERM stops feeding new grid points to the
+	// pool; in-flight points finish and their rows are still emitted, so
+	// the partial CSV is always a clean prefix of the full sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mk, err := workloads.ByName(*name, *mb, *n, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
 		os.Exit(2)
@@ -163,7 +152,7 @@ func main() {
 		err error
 	}
 	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,batch_sizing,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
-	experiments.ForEachOrdered(len(grid), *jobs, func(i int) outcome {
+	runErr := experiments.ForEachOrdered(ctx, len(grid), *jobs, func(i int) outcome {
 		p := grid[i]
 		cfg := guvm.DefaultConfig()
 		cfg.Driver.BatchSize = p.bs
@@ -192,9 +181,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(o.row)
+		done++
 		if prog != nil {
-			done++
 			prog.Publish()
 		}
 	})
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: interrupted (%v): emitted %d of %d grid points\n",
+			runErr, done, len(grid))
+		os.Exit(130)
+	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"time"
 )
@@ -20,14 +21,21 @@ type RunResult struct {
 // result to collect in generator order, whatever order they finish in.
 // jobs <= 0 means GOMAXPROCS.
 //
+// Cancellation granularity is one generator: when ctx is canceled,
+// generators already started run to completion and are still collected,
+// generators not yet started are skipped, and RunParallel returns
+// ctx.Err(). This is the graceful-drain contract the CLIs and the sweepd
+// service build their SIGTERM handling on — partial output is always a
+// clean prefix of the full run.
+//
 // Determinism contract: every generator drives its own sim.Engine, so
 // runs are independent; the only cross-generator state is the
 // single-flight memo caches (see singleflight.go), which compute a value
 // once and share it read-only. Collection in index order therefore makes
 // the artifact stream — and anything written from it — byte-identical at
 // any jobs value. collect runs on the calling goroutine.
-func RunParallel(gens []Generator, jobs int, collect func(RunResult)) {
-	ForEachOrdered(len(gens), jobs, func(i int) RunResult {
+func RunParallel(ctx context.Context, gens []Generator, jobs int, collect func(RunResult)) error {
+	return ForEachOrdered(ctx, len(gens), jobs, func(i int) RunResult {
 		start := time.Now()
 		a, err := gens[i].Run()
 		return RunResult{
@@ -43,9 +51,20 @@ func RunParallel(gens []Generator, jobs int, collect func(RunResult)) {
 // ForEachOrdered runs fn(0..n-1) on up to jobs workers, delivering
 // results to collect in index order on the calling goroutine. It is the
 // generic fan-out/ordered-collect primitive behind RunParallel, also used
-// by cmd/uvmsweep for its parameter grid. jobs <= 0 means GOMAXPROCS;
-// jobs == 1 degenerates to a plain sequential loop.
-func ForEachOrdered[T any](n, jobs int, fn func(int) T, collect func(int, T)) {
+// by cmd/uvmsweep for its parameter grid and by the sweepd service for
+// sharding sweep points. jobs <= 0 means GOMAXPROCS; jobs == 1
+// degenerates to a plain sequential loop.
+//
+// A canceled ctx stops the fan-out at item granularity: indices already
+// handed to a worker finish and are collected (the collected set is
+// always the contiguous prefix 0..k-1 of started items), indices never
+// started are skipped, and ForEachOrdered returns ctx.Err(). A nil ctx
+// means context.Background(). fn does not receive ctx — callers whose
+// work is itself interruptible capture the context in fn.
+func ForEachOrdered[T any](ctx context.Context, n, jobs int, fn func(int) T, collect func(int, T)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -54,14 +73,20 @@ func ForEachOrdered[T any](n, jobs int, fn func(int) T, collect func(int, T)) {
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			collect(i, fn(i))
 		}
-		return
+		return nil
 	}
 
 	// Workers pull indices from feed and post into per-index slots, so a
 	// fast worker never blocks on a slow predecessor and the collector
-	// waits on exactly the next index it needs.
+	// waits on exactly the next index it needs. The feeder stops handing
+	// out indices once ctx is canceled and reports how many it fed; every
+	// fed index is guaranteed a slot value, so the collector can always
+	// drain exactly the fed prefix.
 	feed := make(chan int)
 	slots := make([]chan T, n)
 	for i := range slots {
@@ -74,13 +99,52 @@ func ForEachOrdered[T any](n, jobs int, fn func(int) T, collect func(int, T)) {
 			}
 		}()
 	}
+	fedc := make(chan int, 1)
 	go func() {
+		fed := 0
+		defer func() {
+			close(feed)
+			fedc <- fed
+		}()
 		for i := 0; i < n; i++ {
-			feed <- i
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case feed <- i:
+				fed++
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(feed)
 	}()
+
+	fed, known := n, false
+collection:
 	for i := 0; i < n; i++ {
-		collect(i, <-slots[i])
+		if known {
+			if i >= fed {
+				break
+			}
+			collect(i, <-slots[i])
+			continue
+		}
+		select {
+		case v := <-slots[i]:
+			collect(i, v)
+		case f := <-fedc:
+			fed, known = f, true
+			if i >= fed {
+				break collection
+			}
+			collect(i, <-slots[i])
+		}
 	}
+	if !known {
+		fed = <-fedc
+	}
+	if fed < n {
+		return ctx.Err()
+	}
+	return nil
 }

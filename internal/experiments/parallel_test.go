@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,7 +50,7 @@ func TestParallelDeterminism(t *testing.T) {
 	runAt := func(jobs int) []digest.Hash {
 		ResetCache() // force full recomputation, not a cached replay
 		var digests []digest.Hash
-		RunParallel(gens, jobs, func(r RunResult) {
+		if err := RunParallel(context.Background(), gens, jobs, func(r RunResult) {
 			if r.Err != nil {
 				t.Errorf("jobs=%d: %s failed: %v", jobs, r.Gen.ID, r.Err)
 				return
@@ -59,7 +60,9 @@ func TestParallelDeterminism(t *testing.T) {
 					jobs, r.Index, len(digests))
 			}
 			digests = append(digests, artifactDigest(r.Artifact))
-		})
+		}); err != nil {
+			t.Errorf("jobs=%d: RunParallel returned %v with live context", jobs, err)
+		}
 		return digests
 	}
 
@@ -82,7 +85,7 @@ func TestForEachOrderedCollectsInOrder(t *testing.T) {
 	const n = 100
 	for _, jobs := range []int{-1, 1, 3, 8, n + 7} {
 		var got []int
-		ForEachOrdered(n, jobs, func(i int) int { return i * i }, func(i, v int) {
+		ForEachOrdered(context.Background(), n, jobs, func(i int) int { return i * i }, func(i, v int) {
 			if v != i*i {
 				t.Fatalf("jobs=%d: index %d got %d, want %d", jobs, i, v, i*i)
 			}
@@ -197,5 +200,62 @@ func TestSingleFlightErrorNotCached(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Fatalf("successful compute not cached: ran %d times, want 3", calls)
+	}
+}
+
+// TestForEachOrderedCancellation checks the graceful-drain contract: a
+// cancellation mid-run collects a contiguous prefix of started items
+// (in-flight work finishes, unstarted work is skipped) and returns the
+// context error; a pre-canceled context starts nothing.
+func TestForEachOrderedCancellation(t *testing.T) {
+	const n = 64
+	for _, jobs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		var collected []int
+		err := ForEachOrdered(ctx, n, jobs, func(i int) int {
+			if started.Add(1) == 5 {
+				cancel() // cancel mid-run from a worker
+			}
+			return i
+		}, func(i, v int) {
+			collected = append(collected, i)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		if len(collected) == n {
+			t.Fatalf("jobs=%d: cancellation collected the full set", jobs)
+		}
+		for i, idx := range collected {
+			if idx != i {
+				t.Fatalf("jobs=%d: collected %v is not a contiguous prefix", jobs, collected)
+			}
+		}
+		// Everything started must have been collected: no lost in-flight work.
+		if int32(len(collected)) != started.Load() {
+			t.Fatalf("jobs=%d: started %d items but collected %d", jobs, started.Load(), len(collected))
+		}
+	}
+
+	// Pre-canceled context: nothing runs at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachOrdered(ctx, 8, 4, func(i int) int { ran = true; return i },
+		func(int, int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled err = %v", err)
+	}
+	if ran {
+		t.Fatal("pre-canceled context still ran work")
+	}
+
+	// A nil context behaves as context.Background().
+	count := 0
+	if err := ForEachOrdered(nil, 8, 4, func(i int) int { return i },
+		func(int, int) { count++ }); err != nil || count != 8 {
+		t.Fatalf("nil ctx: err=%v count=%d", err, count)
 	}
 }

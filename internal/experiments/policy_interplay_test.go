@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"guvm"
@@ -85,7 +86,7 @@ func TestPolicyInterplayDigestsAcrossJobs(t *testing.T) {
 	combos := interplayCombos()
 	at := func(jobs int) []comboOutcome {
 		var out []comboOutcome
-		ForEachOrdered(len(combos), jobs, func(i int) comboOutcome {
+		ForEachOrdered(context.Background(), len(combos), jobs, func(i int) comboOutcome {
 			return runCombo(combos[i])
 		}, func(i int, o comboOutcome) {
 			if o.err != nil {

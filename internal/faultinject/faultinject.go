@@ -28,6 +28,7 @@ package faultinject
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"guvm/internal/sim"
 )
@@ -193,13 +194,36 @@ func (s Stats) TotalInjected() uint64 {
 	return s.BufferDrop.Injected + s.Migrate.Injected + s.HostAlloc.Injected
 }
 
+// counterCell is the internal atomic representation of one category's
+// counters. The RNG-drawing decision methods stay simulation-goroutine
+// only (they consume a deterministic stream), but outcome reporting
+// (Note*) and reading (Stats) arrive from worker pools — the parallel
+// experiment harness and the sweepd service layer — so the counters
+// themselves must be safe under concurrent access.
+type counterCell struct {
+	injected, retried, recovered, unrecovered atomic.Uint64
+}
+
+// load materializes the exported plain-value view.
+func (c *counterCell) load() Counters {
+	return Counters{
+		Injected:    c.injected.Load(),
+		Retried:     c.retried.Load(),
+		Recovered:   c.recovered.Load(),
+		Unrecovered: c.unrecovered.Load(),
+	}
+}
+
 // Injector draws injection decisions from seeded per-category RNG streams
 // and accounts their outcomes. All methods are nil-receiver safe: a nil
-// Injector never injects and counts nothing.
+// Injector never injects and counts nothing. The decision methods
+// (ShouldDropFault, HostAllocFails, MigrateFailures) consume per-category
+// RNG streams and must stay on the simulation goroutine; the Note*
+// reporters and Stats are safe from any goroutine.
 type Injector struct {
 	cfg      Config
 	rng      [numCategories]*sim.RNG
-	counters [numCategories]Counters
+	counters [numCategories]counterCell
 }
 
 // New builds an injector. The returned injector is inert (but non-nil)
@@ -232,9 +256,9 @@ func (in *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		BufferDrop: in.counters[BufferDrop],
-		Migrate:    in.counters[Migrate],
-		HostAlloc:  in.counters[HostAlloc],
+		BufferDrop: in.counters[BufferDrop].load(),
+		Migrate:    in.counters[Migrate].load(),
+		HostAlloc:  in.counters[HostAlloc].load(),
 	}
 }
 
@@ -246,7 +270,7 @@ func (in *Injector) ShouldDropFault() bool {
 		return false
 	}
 	if in.rng[BufferDrop].Float64() < in.cfg.BufferDropRate {
-		in.counters[BufferDrop].Injected++
+		in.counters[BufferDrop].injected.Add(1)
 		return true
 	}
 	return false
@@ -275,7 +299,7 @@ func (in *Injector) HostAllocFails() bool {
 		return false
 	}
 	if in.rng[HostAlloc].Float64() < in.cfg.HostAllocFailRate {
-		in.counters[HostAlloc].Injected++
+		in.counters[HostAlloc].injected.Add(1)
 		return true
 	}
 	return false
@@ -300,17 +324,17 @@ func (in *Injector) MigrateFailures() (failures int, fatal bool) {
 	for attempt := 0; attempt <= in.cfg.MigrateMaxRetries; attempt++ {
 		if in.rng[Migrate].Float64() >= in.cfg.MigrateFailRate {
 			if failures > 0 {
-				in.counters[Migrate].Recovered++
+				in.counters[Migrate].recovered.Add(1)
 			}
 			return failures, false
 		}
-		in.counters[Migrate].Injected++
+		in.counters[Migrate].injected.Add(1)
 		failures++
 		if attempt < in.cfg.MigrateMaxRetries {
-			in.counters[Migrate].Retried++
+			in.counters[Migrate].retried.Add(1)
 		}
 	}
-	in.counters[Migrate].Unrecovered++
+	in.counters[Migrate].unrecovered.Add(1)
 	return failures, true
 }
 
@@ -326,23 +350,25 @@ func (in *Injector) MigrateBackoffFor(i int) sim.Time {
 // NoteRetried counts one retry attempt in category c. BufferDrop and
 // HostAlloc retries are driven by the device and driver respectively, so
 // those layers report the outcomes; Migrate accounts internally in
-// MigrateFailures.
+// MigrateFailures. Safe from any goroutine.
 func (in *Injector) NoteRetried(c Category) {
 	if in != nil {
-		in.counters[c].Retried++
+		in.counters[c].retried.Add(1)
 	}
 }
 
 // NoteRecovered counts one operation that succeeded after injection.
+// Safe from any goroutine.
 func (in *Injector) NoteRecovered(c Category) {
 	if in != nil {
-		in.counters[c].Recovered++
+		in.counters[c].recovered.Add(1)
 	}
 }
 
 // NoteUnrecovered counts one operation that exhausted its retry budget.
+// Safe from any goroutine.
 func (in *Injector) NoteUnrecovered(c Category) {
 	if in != nil {
-		in.counters[c].Unrecovered++
+		in.counters[c].unrecovered.Add(1)
 	}
 }

@@ -2,7 +2,9 @@ package faultinject
 
 import (
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"guvm/internal/sim"
 )
@@ -228,5 +230,146 @@ func TestCategoryString(t *testing.T) {
 		if c.String() != want {
 			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), want)
 		}
+	}
+}
+
+// TestInjectorConcurrentCounters hammers the outcome reporters and Stats
+// from many goroutines at once. Under -race (scripts/check.sh runs the
+// suite that way) this is the regression test for the plain-uint64
+// counters the injector used before the sweepd service layer started
+// reporting outcomes from worker pools; the final tallies must also be
+// exact, since atomic increments cannot lose updates.
+func TestInjectorConcurrentCounters(t *testing.T) {
+	const (
+		goroutines = 15 // divisible by numCategories for exact tallies
+		iters      = 500
+	)
+	in, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := Category(g % int(numCategories))
+			for i := 0; i < iters; i++ {
+				in.NoteRetried(c)
+				in.NoteRecovered(c)
+				if i%5 == 0 {
+					in.NoteUnrecovered(c)
+				}
+				if i%7 == 0 {
+					_ = in.Stats() // concurrent reader
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := in.Stats()
+	perCat := uint64(goroutines / int(numCategories) * iters)
+	for _, c := range []Category{BufferDrop, Migrate, HostAlloc} {
+		got := s.Of(c)
+		if got.Retried != perCat || got.Recovered != perCat {
+			t.Errorf("%s: retried/recovered = %d/%d, want %d/%d",
+				c, got.Retried, got.Recovered, perCat, perCat)
+		}
+		if want := perCat / 5; got.Unrecovered != want {
+			t.Errorf("%s: unrecovered = %d, want %d", c, got.Unrecovered, want)
+		}
+	}
+}
+
+// TestServiceInjectorDeterminism checks the service-layer contract: the
+// same (seed, point digest, attempt) always draws the same verdict, the
+// fail limit guarantees an uninjected attempt for bounded retry budgets,
+// and decisions are independent of call order (worker interleaving).
+func TestServiceInjectorDeterminism(t *testing.T) {
+	cfg := ServiceConfig{
+		Seed:           7,
+		PointFailRate:  1,
+		PointFailLimit: 2,
+		SlowPointRate:  1,
+		SlowPointDelay: 123 * time.Millisecond,
+	}
+	a, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewService(cfg)
+
+	points := []uint64{0xdeadbeef, 0x12345678, 0xfeedface}
+	// Draw in forward order on a, reverse order on b: verdicts must agree.
+	type verdict struct {
+		fail  bool
+		delay time.Duration
+	}
+	got := map[[2]uint64]verdict{}
+	for _, p := range points {
+		for attempt := 0; attempt < 4; attempt++ {
+			f, d := a.PointAttempt(p, attempt)
+			got[[2]uint64{p, uint64(attempt)}] = verdict{f, d}
+			if attempt < cfg.PointFailLimit && !f {
+				t.Errorf("point %x attempt %d: not failed despite rate 1 under limit", p, attempt)
+			}
+			if attempt >= cfg.PointFailLimit && f {
+				t.Errorf("point %x attempt %d: failed past PointFailLimit", p, attempt)
+			}
+			if d != cfg.SlowPointDelay {
+				t.Errorf("point %x attempt %d: delay %v, want %v", p, attempt, d, cfg.SlowPointDelay)
+			}
+		}
+	}
+	for i := len(points) - 1; i >= 0; i-- {
+		for attempt := 3; attempt >= 0; attempt-- {
+			f, d := b.PointAttempt(points[i], attempt)
+			want := got[[2]uint64{points[i], uint64(attempt)}]
+			if f != want.fail || d != want.delay {
+				t.Errorf("point %x attempt %d: order-dependent verdict (%v,%v) vs (%v,%v)",
+					points[i], attempt, f, d, want.fail, want.delay)
+			}
+		}
+	}
+
+	st := a.Stats()
+	if want := uint64(len(points) * cfg.PointFailLimit); st.FailedAttempts != want {
+		t.Errorf("FailedAttempts = %d, want %d", st.FailedAttempts, want)
+	}
+	if want := uint64(len(points) * 4); st.SlowedAttempts != want {
+		t.Errorf("SlowedAttempts = %d, want %d", st.SlowedAttempts, want)
+	}
+
+	// Nil and inert injectors never inject.
+	var nilInj *ServiceInjector
+	if f, d := nilInj.PointAttempt(1, 0); f || d != 0 {
+		t.Error("nil injector injected")
+	}
+	inert, _ := NewService(ServiceConfig{Seed: 9})
+	if inert.Enabled() {
+		t.Error("zero-rate config reports Enabled")
+	}
+	if f, d := inert.PointAttempt(1, 0); f || d != 0 {
+		t.Error("inert injector injected")
+	}
+}
+
+// TestServiceConfigValidate rejects out-of-range service injection knobs.
+func TestServiceConfigValidate(t *testing.T) {
+	bad := []ServiceConfig{
+		{PointFailRate: -0.1},
+		{PointFailRate: 1.5},
+		{SlowPointRate: 2},
+		{PointFailLimit: -1},
+		{SlowPointDelay: -time.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := NewService(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewService(ServiceConfig{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
 	}
 }

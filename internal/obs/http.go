@@ -1,12 +1,17 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 )
+
+// DefaultShutdownTimeout bounds how long Close waits for in-flight
+// requests before falling back to a hard close.
+const DefaultShutdownTimeout = 5 * time.Second
 
 // Server is the opt-in live inspection endpoint: Prometheus-format
 // /metrics, a JSON /status (alias /progress), and net/http/pprof for
@@ -19,8 +24,11 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves o's published state in
-// a background goroutine until Close.
-func Serve(addr string, o *Observer) (*Server, error) {
+// a background goroutine until Close or Shutdown. Additional subsystems
+// (the sweepd service, for one) mount their handlers on the same mux by
+// passing mount callbacks; each runs once against the mux before the
+// server starts.
+func Serve(addr string, o *Observer, mounts ...func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -51,8 +59,15 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, mount := range mounts {
+		mount(mux)
+	}
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -60,5 +75,21 @@ func Serve(addr string, o *Observer) (*Server, error) {
 // Addr returns the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown stops accepting new connections and waits up to timeout for
+// in-flight requests to finish; connections still open after the
+// deadline (a stuck client, an abandoned stream) are closed hard so
+// shutdown is always bounded. The returned error reports the graceful
+// phase: nil when every request drained in time.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close() // deadline expired: sever the stragglers
+		return fmt.Errorf("obs: graceful shutdown incomplete: %w", err)
+	}
+	return nil
+}
+
+// Close stops the server, draining in-flight requests for up to
+// DefaultShutdownTimeout before closing hard.
+func (s *Server) Close() error { return s.Shutdown(DefaultShutdownTimeout) }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -280,5 +281,69 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline -> %d", code)
+	}
+}
+
+// TestServeMountsAndShutdown checks the two service-layer seams on the
+// live endpoint: extra subsystems mount handlers on the shared mux, and
+// shutdown is graceful but deadline-bounded — an in-flight request
+// drains cleanly, while a stuck one is severed instead of hanging Close
+// forever.
+func TestServeMountsAndShutdown(t *testing.T) {
+	o := New(Config{SampleInterval: 1})
+	o.Publish()
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	srv, err := Serve("127.0.0.1:0", o, func(mux *http.ServeMux) {
+		mux.HandleFunc("/extra", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "mounted")
+		})
+		mux.HandleFunc("/stuck", func(w http.ResponseWriter, _ *http.Request) {
+			started <- struct{}{}
+			<-release // holds the connection past the shutdown deadline
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + srv.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "mounted" {
+		t.Fatalf("/extra body = %q", b)
+	}
+
+	// A request stuck in a handler must not hold Shutdown past its
+	// deadline: the graceful phase reports the failure and the connection
+	// is closed hard.
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.Get("http://" + srv.Addr() + "/stuck")
+		done <- err
+	}()
+	<-started
+	start := time.Now()
+	if err := srv.Shutdown(100 * time.Millisecond); err == nil {
+		t.Fatal("Shutdown reported clean drain with a stuck request")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown took %v, want deadline-bounded", elapsed)
+	}
+	close(release)
+	<-done // the severed client errors out rather than hanging
+
+	// Clean path: no in-flight work, shutdown drains immediately.
+	srv2, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("idle Close: %v", err)
 	}
 }

@@ -1,0 +1,37 @@
+package sweepd
+
+import "errors"
+
+// Typed admission and execution errors. The HTTP layer maps these onto
+// status codes (429 for back-pressure, 503 for lifecycle), so clients can
+// distinguish "retry later" from "give up" without parsing messages.
+var (
+	// ErrQueueFull is returned by Submit when the bounded job queue is at
+	// capacity. Clients should back off and retry.
+	ErrQueueFull = errors.New("sweepd: job queue full")
+
+	// ErrBreakerOpen is returned by Submit while the point-backlog circuit
+	// breaker is open (backlog crossed the high watermark and has not yet
+	// fallen back below the low watermark).
+	ErrBreakerOpen = errors.New("sweepd: circuit breaker open: point backlog over watermark")
+
+	// ErrDraining is returned by Submit once Drain has begun; the service
+	// finishes in-flight work but accepts nothing new.
+	ErrDraining = errors.New("sweepd: draining, new jobs rejected")
+
+	// ErrUnknownJob is returned by lookups for a job ID this service has
+	// never seen.
+	ErrUnknownJob = errors.New("sweepd: unknown job")
+
+	// ErrPointTimeout wraps a point attempt that exceeded the per-point
+	// timeout; the attempt is abandoned and retried with backoff.
+	ErrPointTimeout = errors.New("sweepd: point attempt timed out")
+
+	// ErrInjectedFailure marks an attempt killed by the service-layer fault
+	// injector (chaos testing); it is retried like any worker crash.
+	ErrInjectedFailure = errors.New("sweepd: injected worker failure")
+
+	// ErrTooManyPoints rejects a job whose expanded grid exceeds
+	// Config.MaxPointsPerJob.
+	ErrTooManyPoints = errors.New("sweepd: grid exceeds per-job point limit")
+)

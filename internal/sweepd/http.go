@@ -1,0 +1,138 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// maxSpecBytes bounds a job-spec request body; a spec is a few lists of
+// small scalars, so anything larger is hostile or broken.
+const maxSpecBytes = 1 << 20
+
+// Mount registers the sweep API on mux (designed for obs.Serve's mount
+// callbacks, so the sweep API shares the observability server):
+//
+//	POST /sweep/jobs              submit a JobSpec, 202 + JobView
+//	GET  /sweep/jobs              list jobs
+//	GET  /sweep/jobs/{id}         one job's status
+//	GET  /sweep/jobs/{id}/results NDJSON result stream (live until terminal)
+//	GET  /sweep/healthz           load-shedding state; 503 while draining
+//
+// Shedding maps typed errors onto status codes: ErrQueueFull and
+// ErrBreakerOpen become 429 with Retry-After, ErrDraining becomes 503.
+func (s *Service) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/sweep/jobs", s.handleJobs)
+	mux.HandleFunc("/sweep/jobs/", s.handleJob)
+	mux.HandleFunc("/sweep/healthz", s.handleHealth)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	case http.MethodPost:
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := s.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, v)
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrBreakerOpen):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/sweep/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch sub {
+	case "":
+		v, err := s.Job(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	case "results":
+		s.streamResults(w, r, id)
+	default:
+		writeErr(w, http.StatusNotFound, ErrUnknownJob)
+	}
+}
+
+// streamResults writes one JSON row per line as points complete,
+// flushing after every batch, and returns when the job reaches a
+// terminal state or the client goes away. Rows arrive in grid order —
+// the stream is a deterministic prefix of the full sweep at any moment.
+func (s *Service) streamResults(w http.ResponseWriter, r *http.Request, id string) {
+	j := s.lookupJob(id)
+	if j == nil {
+		writeErr(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		rows, changed, terminal := s.rowsSince(j, sent)
+		for i := range rows {
+			if err := enc.Encode(&rows[i]); err != nil {
+				return
+			}
+			sent++
+		}
+		if len(rows) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

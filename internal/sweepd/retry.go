@@ -1,0 +1,46 @@
+package sweepd
+
+import (
+	"context"
+	"time"
+
+	"guvm/internal/sim"
+)
+
+// saltBackoff decorrelates the jitter stream from the fault injector's
+// draws, which hash the same (seed, digest, attempt) tuple.
+const saltBackoff = 0x94d049bb133111eb
+
+// backoffFor returns the pause before retry attempt (attempt >= 1) of the
+// point with the given digest: exponential base<<(attempt-1) capped at
+// max, plus jitter in [0, base) drawn from a splitmix64 hash of (seed,
+// digest, attempt). Hash-keyed jitter — rather than a shared RNG stream —
+// makes the schedule a pure function of the tuple, so it is reproducible
+// across runs and indifferent to the order concurrent points interleave.
+func backoffFor(seed, pointDigest uint64, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	r := sim.NewRNG(seed ^ pointDigest ^ (uint64(attempt)+1)*saltBackoff)
+	return d + time.Duration(r.Uint64n(uint64(base)))
+}
+
+// sleepCtx waits d or until ctx is done, returning ctx.Err() when cut
+// short so callers abandon the retry loop promptly on drain or deadline.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,36 @@
+package workloads
+
+import "fmt"
+
+// CatalogNames lists the workloads constructible by name through ByName,
+// in a stable order (for error messages and API listings).
+func CatalogNames() []string {
+	return []string{"stream", "regular", "random", "sgemm", "gauss-seidel", "hpgmg", "spmv"}
+}
+
+// ByName builds the named workload from the shared sweep knobs: mb is the
+// footprint in MiB (stream/regular/random/hpgmg), n the problem dimension
+// (sgemm/gauss-seidel/spmv), seed the workload RNG seed (random/spmv).
+// The returned constructor is reusable — each call builds a fresh
+// workload with fresh seeded RNG state, so one grid point never perturbs
+// another. Both cmd/uvmsweep and the sweepd service resolve sweep points
+// through this catalog, which keeps their config digests comparable.
+func ByName(name string, mb uint64, n int, seed uint64) (func() Workload, error) {
+	switch name {
+	case "stream":
+		return func() Workload { return NewStream(mb<<20, 24) }, nil
+	case "regular":
+		return func() Workload { return NewRegular(mb<<20, 160) }, nil
+	case "random":
+		return func() Workload { return NewRandom(mb<<20, 160, 300, seed) }, nil
+	case "sgemm":
+		return func() Workload { return NewSGEMM(n) }, nil
+	case "gauss-seidel":
+		return func() Workload { return NewGaussSeidel(n, 3) }, nil
+	case "hpgmg":
+		return func() Workload { return NewHPGMG(mb<<20, 1) }, nil
+	case "spmv":
+		return func() Workload { return NewSpMV(n*n/64, 16, seed) }, nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %v)", name, CatalogNames())
+}

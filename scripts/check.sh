@@ -49,3 +49,8 @@ done
 curl -s "http://$addr/status" | grep -q '"workload"'
 kill "$simpid" 2> /dev/null || true
 wait "$simpid" 2> /dev/null || true
+
+# Chaos gate: SIGKILL the sweep service mid-sweep; the restart must
+# recover the journal, finish the job from cache, and produce digests
+# identical to a fresh-store run.
+./scripts/chaos.sh
