@@ -28,6 +28,8 @@ func main() {
 	evictPol := flag.String("evict", "", "eviction policy by registry name (default: the driver default)")
 	prefetchPol := flag.String("prefetch-policy", "", "prefetch policy by registry name (default: off, exposing raw fault mechanics)")
 	sizingPol := flag.String("batch-sizing", "", "batch-sizing policy by registry name (default: fixed)")
+	hwFault := flag.Bool("hw-fault", false, "enable the hardware fault domain (degraded/flapping link epochs at default rates)")
+	hwKill := flag.Int("hw-kill-batch", 0, "kill the device after it completes this many fault batches (1-based; 0 disables)")
 	flag.Parse()
 
 	cfg := guvm.DefaultConfig()
@@ -42,6 +44,11 @@ func main() {
 		Prefetch:    *prefetchPol,
 		BatchSizing: *sizingPol,
 	}
+	if *hwFault {
+		cfg.HW.LinkDegradeRate = 0.2
+		cfg.HW.LinkFlapRate = 0.1
+	}
+	cfg.HW.KillBatch = *hwKill
 
 	var w workloads.Workload
 	if *prefetch {
@@ -86,6 +93,16 @@ func main() {
 	fmt.Printf("\nkernel %.1f us, %d batches, %d faults fetched, %d re-faults\n",
 		res.KernelTime.Micros(), len(res.Batches),
 		res.DriverStats.TotalFaults, res.DeviceStats.Refaults)
+
+	if cfg.HW.Enabled() {
+		fmt.Printf("hw faults: %d injected transfer drops, %d link retries, %d degraded ops\n",
+			res.HWStats.LinkTransfer.Injected, res.DriverStats.HWLinkRetries,
+			res.LinkStats.DegradedOps)
+		if res.DeviceFailed {
+			fmt.Printf("device killed after batch %d: re-homed %d pages (%d VABlocks) to host\n",
+				cfg.HW.KillBatch, res.DriverStats.RehomedPages, res.DriverStats.RehomedBlocks)
+		}
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -19,6 +19,7 @@ import (
 	"guvm"
 	"guvm/internal/analysis"
 	"guvm/internal/obs"
+	"guvm/internal/sim"
 	"guvm/internal/stats"
 	"guvm/internal/trace"
 	"guvm/internal/uvm"
@@ -134,6 +135,20 @@ func main() {
 		injMigRetries  = flag.Int("inject-mig-retries", 4, "transfer retries (with exponential backoff) before a migration is fatal")
 		injHostRate    = flag.Float64("inject-host-rate", 0, "probability a host page-population call fails")
 		injHostRetries = flag.Int("inject-host-retries", 6, "population retries (with batch shrinking and forced eviction) before fatal")
+
+		// Hardware fault domain (internal/faultinject.HardwareInjector):
+		// seeded link degradation/flapping epochs and scheduled device
+		// death. Off by default; -hw-fault enables the link regimes at the
+		// rates below, -hw-kill-batch schedules device death on its own.
+		hwFault         = flag.Bool("hw-fault", false, "enable the hardware fault domain (degraded/flapping link epochs)")
+		hwSeed          = flag.Uint64("hw-seed", 1, "hardware fault-domain RNG seed")
+		hwEpoch         = flag.Duration("hw-epoch", 100*time.Microsecond, "virtual-time length of one link-health epoch")
+		hwDegradeRate   = flag.Float64("hw-degrade-rate", 0.2, "probability a link-health epoch runs at degraded bandwidth (with -hw-fault)")
+		hwDegradeFactor = flag.Float64("hw-degrade-factor", 0.25, "bandwidth multiplier during a degraded epoch")
+		hwFlapRate      = flag.Float64("hw-flap-rate", 0.1, "probability a link-health epoch is flapping (with -hw-fault)")
+		hwFlapDrop      = flag.Float64("hw-flap-drop-rate", 0.5, "probability one transfer operation drops during a flapping epoch")
+		hwRetryLimit    = flag.Int("hw-retry-limit", 6, "driver transfer retries after a dropped operation before the link failure is fatal")
+		hwKillBatch     = flag.Int("hw-kill-batch", 0, "kill the device after it completes this many fault batches (1-based; 0 disables)")
 	)
 	flag.Parse()
 
@@ -198,6 +213,18 @@ func main() {
 	cfg.Inject.MigrateMaxRetries = *injMigRetries
 	cfg.Inject.HostAllocFailRate = *injHostRate
 	cfg.Inject.HostAllocMaxRetries = *injHostRetries
+	if *hwFault || *hwKillBatch > 0 {
+		cfg.HW.Seed = *hwSeed
+		cfg.HW.EpochLength = sim.Time(hwEpoch.Nanoseconds())
+		cfg.HW.DegradedBandwidthFactor = *hwDegradeFactor
+		cfg.HW.FlapDropRate = *hwFlapDrop
+		cfg.HW.LinkRetryLimit = *hwRetryLimit
+		cfg.HW.KillBatch = *hwKillBatch
+		if *hwFault {
+			cfg.HW.LinkDegradeRate = *hwDegradeRate
+			cfg.HW.LinkFlapRate = *hwFlapRate
+		}
+	}
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = *auditInterval
 	cfg.Obs.Trace = *traceOut != ""
@@ -227,14 +254,14 @@ func main() {
 		return
 	}
 
-	sim, err := guvm.NewSimulator(cfg)
+	s, err := guvm.NewSimulator(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 		os.Exit(2)
 	}
 	var metricsSrv *obs.Server
 	if *metricsAddr != "" {
-		metricsSrv, err = obs.Serve(*metricsAddr, sim.Obs)
+		metricsSrv, err = obs.Serve(*metricsAddr, s.Obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(2)
@@ -243,9 +270,9 @@ func main() {
 	}
 	var res *guvm.Result
 	if *explicit {
-		res, err = sim.RunExplicit(w)
+		res, err = s.RunExplicit(w)
 	} else {
-		res, err = sim.Run(w)
+		res, err = s.Run(w)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
@@ -282,6 +309,23 @@ func main() {
 			res.DriverStats.MigRetries, res.DriverStats.HostAllocFailures, res.DriverStats.BatchShrinks)
 		fmt.Printf("  device        %d buffer drops injected, %d re-emitted, %d lost to replay recovery\n",
 			res.DeviceStats.InjectedDrops, res.DeviceStats.InjectedDropRetries, res.DeviceStats.InjectedDropsLost)
+	}
+
+	if cfg.HW.Enabled() && s.HW != nil {
+		healthy, degraded, flapping := s.HW.EpochHealthCounts(0, res.TotalTime)
+		fmt.Printf("hw fault domain (link epochs: %d healthy, %d degraded, %d flapping)\n",
+			healthy, degraded, flapping)
+		n := res.HWStats.LinkTransfer
+		fmt.Printf("  link-transfer %d/%d/%d/%d (injected/retried/recovered/unrecovered)\n",
+			n.Injected, n.Retried, n.Recovered, n.Unrecovered)
+		fmt.Printf("  driver        %d degraded ops, %d link retries, %d degraded-aware shrinks\n",
+			res.LinkStats.DegradedOps, res.DriverStats.HWLinkRetries, res.DriverStats.DegradedShrinks)
+		if res.DeviceFailed {
+			ds := res.DriverStats
+			fmt.Printf("  device death  after batch %d: re-homed %d VABlocks, %d/%d resident pages (%.1f MiB) to host\n",
+				cfg.HW.KillBatch, ds.RehomedBlocks, ds.RehomedPages, ds.ResidentAtKill,
+				float64(ds.RehomedBytes)/(1<<20))
+		}
 	}
 
 	if len(res.Batches) > 0 {
@@ -327,12 +371,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := obs.WriteChromeTrace(f, sim.Obs.Tracer); err != nil {
+		if err := obs.WriteChromeTrace(f, s.Obs.Tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("wrote %d trace spans to %s\n", len(sim.Obs.Tracer.Spans()), *traceOut)
+		fmt.Printf("wrote %d trace spans to %s\n", len(s.Obs.Tracer.Spans()), *traceOut)
 	}
 	if *metricsCSV != "" {
 		f, err := os.Create(*metricsCSV)
@@ -340,12 +384,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := sim.Obs.Sampler.WriteCSV(f); err != nil {
+		if err := s.Obs.Sampler.WriteCSV(f); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("wrote %d metric samples to %s\n", len(sim.Obs.Sampler.Rows()), *metricsCSV)
+		fmt.Printf("wrote %d metric samples to %s\n", len(s.Obs.Sampler.Rows()), *metricsCSV)
 	}
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)
@@ -353,12 +397,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := sim.Obs.Sampler.WriteJSON(f); err != nil {
+		if err := s.Obs.Sampler.WriteJSON(f); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("wrote %d metric samples to %s\n", len(sim.Obs.Sampler.Rows()), *metricsJSON)
+		fmt.Printf("wrote %d metric samples to %s\n", len(s.Obs.Sampler.Rows()), *metricsJSON)
 	}
 
 	if *analyze && len(res.Batches) > 0 {

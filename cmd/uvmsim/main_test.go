@@ -98,3 +98,45 @@ func TestCLIPolicyFlags(t *testing.T) {
 		t.Errorf("rejection message does not name the valid options:\n%s", out)
 	}
 }
+
+// TestCLIHWFaultDrill builds the real binary and runs the audited
+// device-death drill end to end: the run must exit zero, report the
+// re-homing, and show a clean audit.
+func TestCLIHWFaultDrill(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "uvmsim")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin,
+		"-workload", "stream", "-mb", "8", "-audit",
+		"-hw-fault", "-hw-kill-batch", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hw-fault drill: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"hw fault domain",
+		"device death  after batch 3",
+		" 0 violations",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("drill output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Degraded-mode determinism through the CLI flag path.
+	out, err = exec.Command(bin,
+		"-workload", "stream", "-mb", "8",
+		"-hw-fault", "-verify-determinism").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-hw-fault -verify-determinism: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "determinism verified") {
+		t.Errorf("determinism output:\n%s", out)
+	}
+}

@@ -40,6 +40,10 @@ import (
 // re-emission budget ran out with no later replay to re-fault them).
 var ErrStalled = errors.New("guvm: simulation stalled")
 
+// ErrSimulatorReused is the sentinel matched by errors.Is when a
+// single-shot Simulator or MultiSimulator is run a second time.
+var ErrSimulatorReused = errors.New("guvm: simulator is single-shot; create a new one per run")
+
 // SystemConfig assembles the configuration of every modeled component.
 type SystemConfig struct {
 	GPU    gpu.Config
@@ -57,6 +61,11 @@ type SystemConfig struct {
 	// zero value (all rates zero) disables injection and leaves every
 	// simulation output bit-identical to an injector-free run.
 	Inject faultinject.Config
+	// HW configures the hardware fault domain: link degradation and
+	// flapping, and scheduled device death. The zero value disables the
+	// domain entirely and leaves every simulation output bit-identical
+	// to a domain-free run.
+	HW faultinject.HardwareConfig
 	// KeepFaults retains every fetched fault record in the result
 	// (needed by fault-timeline experiments; memory-heavy).
 	KeepFaults bool
@@ -89,6 +98,7 @@ func DefaultConfig() SystemConfig {
 		MaxEvents:      500_000_000,
 		MaxStallEvents: 2_000_000,
 		Inject:         faultinject.DefaultConfig(),
+		HW:             faultinject.DefaultHardwareConfig(),
 	}
 }
 
@@ -126,6 +136,13 @@ type Result struct {
 	// InjectStats holds the per-category injected/retried/recovered/
 	// unrecovered counters (all zero when injection is disabled).
 	InjectStats faultinject.Stats
+	// HWStats holds the hardware fault-domain counters (all zero when
+	// the domain is disabled).
+	HWStats faultinject.HardwareStats
+	// DeviceFailed reports that the hardware fault domain killed the
+	// device mid-run; the driver re-homed every resident page to the
+	// host (DriverStats.RehomedPages) and the workload was truncated.
+	DeviceFailed bool
 	// Audit is the invariant auditor's report (nil unless
 	// SystemConfig.Audit is active).
 	Audit *audit.Report
@@ -158,7 +175,10 @@ type Simulator struct {
 	Driver   *uvm.Driver
 	HostVM   *hostos.VM
 	Injector *faultinject.Injector
-	Auditor  *audit.Auditor
+	// HW is the hardware fault-domain injector (nil unless
+	// SystemConfig.HW enables a fault regime).
+	HW      *faultinject.HardwareInjector
+	Auditor *audit.Auditor
 	// Obs is the attached observer (nil unless SystemConfig.Obs is
 	// active). A nil observer is safe to call everywhere.
 	Obs *obs.Observer
@@ -202,9 +222,40 @@ func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 		HostVM:   vm,
 		Injector: inj,
 	}
+	if cfg.HW.Enabled() {
+		hw, err := faultinject.NewHardware(cfg.HW)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.HW.KillBatch > 0 && cfg.HW.KillDevice != 0 {
+			return nil, fmt.Errorf("guvm: HW.KillDevice = %d, single-GPU system has only device 0",
+				cfg.HW.KillDevice)
+		}
+		s.HW = hw
+		link.SetHardware(hw, 0, eng.Now)
+		drv.SetHardware(hw)
+	}
 	if cfg.Audit.Active() {
 		s.Auditor = audit.New(cfg.Audit, audit.Options{}, eng, drv, dev, vm, inj)
+		s.Auditor.SetHardware(s.HW)
 		s.Auditor.Attach()
+	}
+	if s.HW != nil && cfg.HW.KillBatch > 0 {
+		// Device-death schedule: after the configured batch completes
+		// (observers run with the service slot released), kill the
+		// device, re-home its pages, then declare the link dead. The
+		// drain cost is scheduled so total time covers the recovery.
+		kill := cfg.HW.KillBatch
+		drv.AddBatchObserver(func(id int, _ *trace.BatchRecord) {
+			if id+1 != kill {
+				return
+			}
+			dev.Kill()
+			rep := drv.RehomeToHost()
+			s.HW.NoteDeviceKilled()
+			drv.Link().Kill()
+			eng.Schedule(rep.Cost, func() {})
+		})
 	}
 	if cfg.Obs.Active() {
 		s.Obs = obs.New(cfg.Obs)
@@ -277,6 +328,35 @@ func (s *Simulator) registerMetrics() {
 	r.Func("guvm_link_bytes_to_host_total", "Bytes moved GPU-to-host",
 		func() float64 { return float64(s.Driver.Link().Stats().BytesToHost) })
 
+	if s.HW != nil {
+		r.Func("guvm_hw_link_health", "Current link health (0 healthy, 1 degraded, 2 flapping, 3 dead)",
+			func() float64 { return float64(s.Driver.Link().Health()) })
+		r.Func("guvm_hw_degraded_epochs_total", "Link-health epochs drawn degraded so far",
+			func() float64 {
+				_, deg, _ := s.HW.EpochHealthCounts(0, s.Engine.Now())
+				return float64(deg)
+			})
+		r.Func("guvm_hw_flapping_epochs_total", "Link-health epochs drawn flapping so far",
+			func() float64 {
+				_, _, flap := s.HW.EpochHealthCounts(0, s.Engine.Now())
+				return float64(flap)
+			})
+		r.Func("guvm_hw_link_retries_total", "Transfer operations re-carried after injected drops",
+			func() float64 { return float64(s.Driver.Stats().HWLinkRetries) })
+		r.Func("guvm_hw_degraded_shrinks_total", "Batch halvings by the degraded-aware sizer",
+			func() float64 { return float64(s.Driver.Stats().DegradedShrinks) })
+		r.Func("guvm_hw_rehomed_pages_total", "Pages re-homed to the host after device death",
+			func() float64 { return float64(s.Driver.Stats().RehomedPages) })
+		r.Func("guvm_hw_devices_killed_total", "Devices killed by the fault schedule",
+			func() float64 { return float64(s.HW.Stats().DevicesKilled) })
+		r.Func("guvm_hw_transfer_injected_total", "Injected link-transfer drops",
+			func() float64 { return float64(s.HW.Stats().LinkTransfer.Injected) })
+		r.Func("guvm_hw_transfer_recovered_total", "Transfers recovered after injected drops",
+			func() float64 { return float64(s.HW.Stats().LinkTransfer.Recovered) })
+		r.Func("guvm_hw_transfer_unrecovered_total", "Transfers that exhausted their retry budget",
+			func() float64 { return float64(s.HW.Stats().LinkTransfer.Unrecovered) })
+	}
+
 	for _, cat := range []struct {
 		name string
 		get  func() faultinject.Counters
@@ -312,7 +392,7 @@ func (s *Simulator) RunExplicit(w workloads.Workload) (*Result, error) {
 
 func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 	if s.used {
-		return nil, errors.New("guvm: Simulator is single-shot; create a new one per run")
+		return nil, fmt.Errorf("guvm: Simulator already ran: %w", ErrSimulatorReused)
 	}
 	s.used = true
 
@@ -433,19 +513,21 @@ func (s *Simulator) run(w workloads.Workload, explicit bool) (*Result, error) {
 
 	col := s.Driver.Collector
 	res := &Result{
-		Workload:    w.Name(),
-		KernelTime:  kernelTime,
-		TotalTime:   s.Engine.Now(),
-		Batches:     col.Batches,
-		Faults:      col.Faults,
-		FaultBatch:  col.FaultBatch,
-		Bases:       bases,
-		DriverStats: s.Driver.Stats(),
-		DeviceStats: s.Device.Stats(),
-		HostStats:   s.HostVM.Stats(),
-		LinkStats:   s.Driver.Link().Stats(),
-		InjectStats: s.Injector.Stats(),
-		Audit:       auditRep,
+		Workload:     w.Name(),
+		KernelTime:   kernelTime,
+		TotalTime:    s.Engine.Now(),
+		Batches:      col.Batches,
+		Faults:       col.Faults,
+		FaultBatch:   col.FaultBatch,
+		Bases:        bases,
+		DriverStats:  s.Driver.Stats(),
+		DeviceStats:  s.Device.Stats(),
+		HostStats:    s.HostVM.Stats(),
+		LinkStats:    s.Driver.Link().Stats(),
+		InjectStats:  s.Injector.Stats(),
+		HWStats:      s.HW.Stats(),
+		DeviceFailed: s.Driver.Dead(),
+		Audit:        auditRep,
 	}
 	if err := auditRep.Err(); err != nil {
 		// End-of-run checks failed on an otherwise clean run: hand back

@@ -69,6 +69,10 @@ type Options struct {
 	// one injector serving several devices, per-device counters are each
 	// a fraction of the injector's totals.
 	SharedInjector bool
+	// SharedHardware likewise disables the cross-layer hardware-injection
+	// equality (driver link-retry count vs injected transfer drops) when
+	// one HardwareInjector serves several links.
+	SharedHardware bool
 }
 
 // ErrViolation is the sentinel matched by errors.Is for any invariant
@@ -154,6 +158,7 @@ type Auditor struct {
 	vm   *hostos.VM
 	link *interconnect.Link
 	inj  *faultinject.Injector
+	hw   *faultinject.HardwareInjector
 
 	// Running link-conservation ledgers, accumulated per observed batch.
 	sumMigrated uint64
@@ -176,6 +181,11 @@ func New(cfg Config, opt Options, eng *sim.Engine, drv *uvm.Driver, dev *gpu.Dev
 		inj:  inj,
 	}
 }
+
+// SetHardware attaches the hardware fault-domain injector so its
+// conservation ledgers are audited too. A nil injector (the default)
+// skips the hardware checks.
+func (a *Auditor) SetHardware(hw *faultinject.HardwareInjector) { a.hw = hw }
 
 // Attach registers the auditor as the driver's batch observer.
 func (a *Auditor) Attach() { a.drv.AddBatchObserver(a.onBatch) }
@@ -239,6 +249,12 @@ func (a *Auditor) checkBatch(id int, rec *trace.BatchRecord) *ViolationError {
 	if v := a.stamp(a.checkInjection(&dst.Stats), id); v != nil {
 		return v
 	}
+	if v := a.stamp(a.checkHardware(&dst.Stats), id); v != nil {
+		return v
+	}
+	if v := a.stamp(a.checkPageConservation(&dst), id); v != nil {
+		return v
+	}
 	return nil
 }
 
@@ -263,6 +279,12 @@ func (a *Auditor) CheckNow() []*ViolationError {
 	if v := a.stamp(a.checkInjection(&dst.Stats), -1); v != nil {
 		vs = append(vs, v)
 	}
+	if v := a.stamp(a.checkHardware(&dst.Stats), -1); v != nil {
+		vs = append(vs, v)
+	}
+	if v := a.stamp(a.checkPageConservation(&dst), -1); v != nil {
+		vs = append(vs, v)
+	}
 	return vs
 }
 
@@ -273,6 +295,12 @@ func (a *Auditor) finalChecks() []*ViolationError {
 	var vs []*ViolationError
 	dev := a.dev.AuditState()
 	a.rep.ChecksRun++
+	if dev.Killed && !a.drv.Dead() {
+		vs = append(vs, a.stamp(&ViolationError{
+			Check:  "page-conservation",
+			Detail: "device killed but driver never re-homed (not marked dead)",
+		}, -1))
+	}
 	if dev.Running || dev.BufferLen != 0 || dev.TotalPending() != 0 || dev.LiveBlocks != 0 {
 		vs = append(vs, a.stamp(&ViolationError{
 			Check: "device-quiescence",
@@ -289,24 +317,107 @@ func (a *Auditor) finalChecks() []*ViolationError {
 
 // checkLinkConservation reconciles the link's byte counters against the
 // driver-side ledgers: every byte to the GPU is a batch migration, an
-// explicit bulk copy, or injected-retry traffic; every byte to the host
-// is eviction writeback.
+// explicit bulk copy, injected-retry traffic, or a re-carried transfer
+// the hardware domain dropped; every byte to the host is eviction
+// writeback, a dropped writeback attempt, or device-loss re-homing.
 func (a *Auditor) checkLinkConservation(st *uvm.Stats) *ViolationError {
 	a.rep.ChecksRun++
 	ls := a.link.Stats()
-	wantToGPU := a.sumMigrated + st.ExplicitBytes + st.InjMigRetryBytes
+	wantToGPU := a.sumMigrated + st.ExplicitBytes + st.InjMigRetryBytes + st.HWRetryToGPUBytes
 	if ls.BytesToGPU != wantToGPU {
 		return &ViolationError{
 			Check: "link-conservation",
-			Detail: fmt.Sprintf("BytesToGPU = %d, want %d (batches %d + explicit %d + injected retries %d)",
-				ls.BytesToGPU, wantToGPU, a.sumMigrated, st.ExplicitBytes, st.InjMigRetryBytes),
+			Detail: fmt.Sprintf("BytesToGPU = %d, want %d (batches %d + explicit %d + injected retries %d + hw re-carries %d)",
+				ls.BytesToGPU, wantToGPU, a.sumMigrated, st.ExplicitBytes, st.InjMigRetryBytes, st.HWRetryToGPUBytes),
 		}
 	}
-	if ls.BytesToHost != a.sumEvicted {
+	wantToHost := a.sumEvicted + st.HWRetryToHostBytes + st.RehomedBytes
+	if ls.BytesToHost != wantToHost {
 		return &ViolationError{
 			Check: "link-conservation",
-			Detail: fmt.Sprintf("BytesToHost = %d, want eviction writeback %d",
-				ls.BytesToHost, a.sumEvicted),
+			Detail: fmt.Sprintf("BytesToHost = %d, want %d (eviction writeback %d + hw re-carries %d + re-homed %d)",
+				ls.BytesToHost, wantToHost, a.sumEvicted, st.HWRetryToHostBytes, st.RehomedBytes),
+		}
+	}
+	return nil
+}
+
+// checkHardware verifies the hardware fault domain's conservation
+// ledgers: every injected transfer drop is either retried or
+// unrecovered, recoveries never exceed retries, and (single-link wiring
+// only) the driver's retry count equals the injected drops.
+func (a *Auditor) checkHardware(st *uvm.Stats) *ViolationError {
+	if a.hw == nil {
+		return nil
+	}
+	a.rep.ChecksRun++
+	hs := a.hw.Stats()
+	n := hs.LinkTransfer
+	if n.Injected != n.Retried+n.Unrecovered {
+		return &ViolationError{
+			Check: "hw-injection-conservation",
+			Detail: fmt.Sprintf("link-transfer: injected %d != retried %d + unrecovered %d",
+				n.Injected, n.Retried, n.Unrecovered),
+		}
+	}
+	if n.Recovered > n.Retried {
+		return &ViolationError{
+			Check:  "hw-injection-conservation",
+			Detail: fmt.Sprintf("link-transfer: recovered %d > retried %d", n.Recovered, n.Retried),
+		}
+	}
+	if a.opt.SharedHardware {
+		return nil
+	}
+	if uint64(st.HWLinkRetries) != n.Injected {
+		return &ViolationError{
+			Check: "hw-injection-conservation",
+			Detail: fmt.Sprintf("driver link re-carries %d != injected transfer drops %d",
+				st.HWLinkRetries, n.Injected),
+		}
+	}
+	return nil
+}
+
+// checkPageConservation verifies device-loss recovery: a dead driver
+// holds no chunks and no resident pages, its victim-scan list is empty,
+// and the pages it re-homed to the host account exactly for everything
+// resident at the instant of death — no page lost, none invented.
+func (a *Auditor) checkPageConservation(dst *uvm.AuditState) *ViolationError {
+	if !dst.Dead {
+		return nil
+	}
+	a.rep.ChecksRun++
+	for i := range dst.Blocks {
+		b := &dst.Blocks[i]
+		if b.HasChunk || b.Resident.Any() {
+			return &ViolationError{
+				Check: "page-conservation",
+				Detail: fmt.Sprintf("dead driver: block %d still holds chunk=%v, %d resident pages",
+					b.ID, b.HasChunk, b.Resident.Count()),
+			}
+		}
+	}
+	if dst.ChunksInUse != 0 || len(dst.AllocatedOrder) != 0 {
+		return &ViolationError{
+			Check: "page-conservation",
+			Detail: fmt.Sprintf("dead driver: %d chunks in use, %d blocks in victim scan",
+				dst.ChunksInUse, len(dst.AllocatedOrder)),
+		}
+	}
+	st := &dst.Stats
+	if st.RehomedPages != st.ResidentAtKill {
+		return &ViolationError{
+			Check: "page-conservation",
+			Detail: fmt.Sprintf("re-homed %d pages but %d were resident at kill",
+				st.RehomedPages, st.ResidentAtKill),
+		}
+	}
+	if st.RehomedBytes != uint64(st.RehomedPages)*mem.PageSize {
+		return &ViolationError{
+			Check: "page-conservation",
+			Detail: fmt.Sprintf("re-homed bytes %d != %d pages * %d",
+				st.RehomedBytes, st.RehomedPages, mem.PageSize),
 		}
 	}
 	return nil

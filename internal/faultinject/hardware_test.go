@@ -1,0 +1,228 @@
+package faultinject
+
+import (
+	"testing"
+
+	"guvm/internal/sim"
+)
+
+func TestHardwareConfigValidate(t *testing.T) {
+	base := DefaultHardwareConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	nan := 0.0
+	nan /= nan
+	bad := []func(*HardwareConfig){
+		func(c *HardwareConfig) { c.LinkDegradeRate = -0.1 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = 1.5 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = nan },
+		func(c *HardwareConfig) { c.LinkFlapRate = 2 },
+		func(c *HardwareConfig) { c.FlapDropRate = -1 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = 0.5; c.EpochLength = 0 },
+		func(c *HardwareConfig) { c.LinkFlapRate = 0.5; c.EpochLength = -1 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = 0.5; c.DegradedBandwidthFactor = 0 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = 0.5; c.DegradedBandwidthFactor = 1.5 },
+		func(c *HardwareConfig) { c.LinkDegradeRate = 0.5; c.DegradedBandwidthFactor = nan },
+		func(c *HardwareConfig) { c.LinkRetryLimit = -1 },
+		func(c *HardwareConfig) { c.LinkRetryBackoff = -1 },
+		func(c *HardwareConfig) { c.KillDevice = -1 },
+		func(c *HardwareConfig) { c.KillBatch = -1 },
+	}
+	for i, mutate := range bad {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v validated, want error", i, c)
+		}
+		if _, err := NewHardware(c); err == nil {
+			t.Errorf("case %d: NewHardware accepted invalid config", i)
+		}
+	}
+}
+
+func TestHardwareEnabled(t *testing.T) {
+	if (HardwareConfig{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if DefaultHardwareConfig().Enabled() {
+		t.Fatal("default (inert) config reports enabled")
+	}
+	for _, mutate := range []func(*HardwareConfig){
+		func(c *HardwareConfig) { c.LinkDegradeRate = 0.1 },
+		func(c *HardwareConfig) { c.LinkFlapRate = 0.1 },
+		func(c *HardwareConfig) { c.KillBatch = 3 },
+	} {
+		c := DefaultHardwareConfig()
+		mutate(&c)
+		if !c.Enabled() {
+			t.Errorf("config %+v reports disabled", c)
+		}
+	}
+}
+
+// Same seed → identical schedule; draws are stateless, so query order and
+// repetition change nothing.
+func TestHardwareDrawDeterminism(t *testing.T) {
+	cfg := DefaultHardwareConfig()
+	cfg.LinkDegradeRate = 0.3
+	cfg.LinkFlapRate = 0.2
+	a, _ := NewHardware(cfg)
+	b, _ := NewHardware(cfg)
+
+	type verdict struct{ deg, flap bool }
+	forward := make([]verdict, 200)
+	for e := 0; e < 200; e++ {
+		deg, flap := a.LinkEpochDraws(1, int64(e))
+		forward[e] = verdict{deg, flap}
+	}
+	// Query b backwards, twice, and expect the identical schedule.
+	for pass := 0; pass < 2; pass++ {
+		for e := 199; e >= 0; e-- {
+			deg, flap := b.LinkEpochDraws(1, int64(e))
+			if (verdict{deg, flap}) != forward[e] {
+				t.Fatalf("pass %d epoch %d: draws (%v,%v) != first-pass %+v",
+					pass, e, deg, flap, forward[e])
+			}
+		}
+	}
+
+	// A different seed must give a different schedule somewhere.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, _ := NewHardware(cfg2)
+	same := true
+	for e := 0; e < 200; e++ {
+		deg, flap := c.LinkEpochDraws(1, int64(e))
+		if (verdict{deg, flap}) != forward[e] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 99 produced identical 200-epoch schedules")
+	}
+
+	// Distinct links must be decorrelated under the same seed.
+	same = true
+	for e := 0; e < 200; e++ {
+		deg, flap := a.LinkEpochDraws(2, int64(e))
+		if (verdict{deg, flap}) != forward[e] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("links 1 and 2 drew identical 200-epoch schedules")
+	}
+}
+
+func TestHardwareZeroRatesDrawNothing(t *testing.T) {
+	hw, err := NewHardware(DefaultHardwareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := int64(0); e < 50; e++ {
+		if deg, flap := hw.LinkEpochDraws(0, e); deg || flap {
+			t.Fatalf("epoch %d: zero-rate draw returned (%v, %v)", e, deg, flap)
+		}
+	}
+	if hw.TransferDrops(0, 7) {
+		t.Fatal("zero-rate TransferDrops dropped")
+	}
+	if st := hw.Stats(); st != (HardwareStats{}) {
+		t.Fatalf("stats = %+v, want all zero", st)
+	}
+}
+
+func TestHardwareTransferDropCounting(t *testing.T) {
+	cfg := DefaultHardwareConfig()
+	cfg.LinkFlapRate = 1
+	cfg.FlapDropRate = 1
+	hw, _ := NewHardware(cfg)
+	for i := uint64(1); i <= 3; i++ {
+		if !hw.TransferDrops(0, i) {
+			t.Fatalf("op %d: drop rate 1 did not drop", i)
+		}
+	}
+	hw.NoteTransferRetried()
+	hw.NoteTransferRetried()
+	hw.NoteTransferUnrecovered()
+	hw.NoteTransferRecovered()
+	hw.NoteDeviceKilled()
+	st := hw.Stats()
+	if st.LinkTransfer.Injected != 3 || st.LinkTransfer.Retried != 2 ||
+		st.LinkTransfer.Unrecovered != 1 || st.LinkTransfer.Recovered != 1 {
+		t.Fatalf("link-transfer counters = %+v", st.LinkTransfer)
+	}
+	if st.DevicesKilled != 1 {
+		t.Fatalf("DevicesKilled = %d, want 1", st.DevicesKilled)
+	}
+}
+
+func TestHardwareEpochHealthCounts(t *testing.T) {
+	cfg := DefaultHardwareConfig()
+	cfg.LinkDegradeRate = 0.4
+	cfg.LinkFlapRate = 0.3
+	hw, _ := NewHardware(cfg)
+	now := 99 * cfg.EpochLength // epochs 0..99 inclusive
+	healthy, degraded, flapping := hw.EpochHealthCounts(0, now)
+	if healthy+degraded+flapping != 100 {
+		t.Fatalf("epoch counts %d+%d+%d != 100", healthy, degraded, flapping)
+	}
+	// Cross-check against the raw draws with flapping precedence.
+	var wantH, wantD, wantF int64
+	for e := int64(0); e < 100; e++ {
+		deg, flap := hw.LinkEpochDraws(0, e)
+		switch {
+		case flap:
+			wantF++
+		case deg:
+			wantD++
+		default:
+			wantH++
+		}
+	}
+	if healthy != wantH || degraded != wantD || flapping != wantF {
+		t.Fatalf("counts (%d,%d,%d) != raw draws (%d,%d,%d)",
+			healthy, degraded, flapping, wantH, wantD, wantF)
+	}
+}
+
+// Every decision and reporting method must be safe on a nil injector —
+// that is the disabled-wiring contract.
+func TestHardwareNilReceiverSafe(t *testing.T) {
+	var hw *HardwareInjector
+	if hw.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if deg, flap := hw.LinkEpochDraws(0, 5); deg || flap {
+		t.Fatal("nil injector drew a fault")
+	}
+	if hw.TransferDrops(0, 1) {
+		t.Fatal("nil injector dropped a transfer")
+	}
+	if hw.EpochOf(sim.Time(1e9)) != 0 {
+		t.Fatal("nil EpochOf != 0")
+	}
+	if hw.DegradedFactor() != 1 {
+		t.Fatal("nil DegradedFactor != 1")
+	}
+	if hw.RetryLimit() != 0 || hw.RetryBackoffFor(3) != 0 {
+		t.Fatal("nil retry knobs nonzero")
+	}
+	h, d, f := hw.EpochHealthCounts(0, sim.Time(1e9))
+	if h != 0 || d != 0 || f != 0 {
+		t.Fatal("nil EpochHealthCounts nonzero")
+	}
+	hw.NoteTransferRetried()
+	hw.NoteTransferRecovered()
+	hw.NoteTransferUnrecovered()
+	hw.NoteDeviceKilled()
+	if st := hw.Stats(); st != (HardwareStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if cfg := hw.Config(); cfg != (HardwareConfig{}) {
+		t.Fatalf("nil config = %+v", cfg)
+	}
+}

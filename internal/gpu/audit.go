@@ -30,7 +30,9 @@ type AuditState struct {
 	// prefetch, per µTLB, in insertion order) so digests see the exact
 	// outstanding-fault population, not just its size.
 	PendingPages []mem.PageID
-	Stats        Stats
+	// Killed reports catastrophic device loss (Device.Kill).
+	Killed bool
+	Stats  Stats
 }
 
 // TotalPending sums outstanding fault entries across µTLBs.
@@ -50,6 +52,7 @@ func (d *Device) AuditState() AuditState {
 		LiveBlocks: d.liveBlocks,
 		NextBlock:  d.nextBlock,
 		NextWarpID: d.nextWarpID,
+		Killed:     d.killed,
 		Stats:      d.stats,
 	}
 	for _, u := range d.utlbs {
@@ -81,6 +84,11 @@ func (d *Device) Digest() uint64 {
 	h = h.Int(s.FaultsEmitted).Int(s.DupFaults).Int(s.Refaults)
 	h = h.Int(s.ThrottleStalls).Int(s.UTLBFullStalls).Int(s.BlocksCompleted)
 	h = h.Int(s.InjectedDrops).Int(s.InjectedDropRetries).Int(s.InjectedDropsLost)
+	// A killed device folds the flag in; live devices keep their
+	// historical digests bit-identical.
+	if st.Killed {
+		h = h.Bool(true)
+	}
 	return h.Sum()
 }
 

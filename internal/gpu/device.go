@@ -195,6 +195,7 @@ type Device struct {
 
 	inj        *faultinject.Injector
 	nextWarpID int
+	killed     bool
 	stats      Stats
 }
 
@@ -240,6 +241,9 @@ func (d *Device) SetInjector(in *faultinject.Injector) { d.inj = in }
 // LaunchKernel starts a kernel; done is called when every block retires.
 // Only one kernel may run at a time.
 func (d *Device) LaunchKernel(k Kernel, done func()) error {
+	if d.killed {
+		return ErrDeviceDead
+	}
 	if d.launched {
 		return ErrKernelRunning
 	}
@@ -321,6 +325,37 @@ func (d *Device) finishKernel() {
 // Running reports whether a kernel is in flight.
 func (d *Device) Running() bool { return d.launched }
 
+// Kill simulates catastrophic device loss (falling off the bus): the
+// running kernel is abandoned without its completion callback, the fault
+// buffer and every µTLB are cleared, and all future warp activity,
+// fault deliveries, replays, and launches become no-ops. In-flight
+// engine events referencing the device land on these guards and expire
+// harmlessly. Kill is idempotent.
+func (d *Device) Kill() {
+	if d.killed {
+		return
+	}
+	d.killed = true
+	d.launched = false
+	d.doneCb = nil
+	d.liveBlocks = 0
+	d.Buffer.Flush()
+	for _, u := range d.utlbs {
+		u.pending = make(map[mem.PageID]*faultEntry)
+		u.order = u.order[:0]
+		u.prefetchPending = make(map[mem.PageID]*faultEntry)
+		u.prefetchOrder = u.prefetchOrder[:0]
+		u.stalled = nil
+		u.deferred = nil
+	}
+	for _, s := range d.sms {
+		s.live = 0
+	}
+}
+
+// Killed reports whether the device has been killed.
+func (d *Device) Killed() bool { return d.killed }
+
 // emitFault writes a fault record into the buffer after the GMMU latency
 // and raises the interrupt line on an empty->non-empty transition.
 func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) {
@@ -343,6 +378,9 @@ func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) 
 // next fault replay re-checks the µTLB's pending entries (the software
 // safety net real GPUs rely on for dropped faults).
 func (d *Device) deliver(f Fault, attempt int) {
+	if d.killed {
+		return
+	}
 	if d.inj.ShouldDropFault() {
 		d.stats.InjectedDrops++
 		if attempt < d.inj.BufferRetryBudget() {
@@ -383,6 +421,9 @@ func (d *Device) deliver(f Fault, attempt int) {
 // as a driver-issued fault replay does: serviced pages complete, while
 // unserviced accesses re-fault (§4.2).
 func (d *Device) Replay() {
+	if d.killed {
+		return
+	}
 	var rechecks []*access
 	for _, u := range d.utlbs {
 		for _, page := range u.order {
@@ -475,7 +516,7 @@ func (w *warp) schedule(delay sim.Time) {
 
 // wake resumes a warp parked on a scoreboard or µTLB stall.
 func (w *warp) wake() {
-	if !w.inFlight && !w.finishedIssue {
+	if !w.inFlight && !w.finishedIssue && !w.dev.killed {
 		w.run()
 	}
 }
@@ -499,7 +540,7 @@ const (
 
 // run advances the warp program until it blocks or retires.
 func (w *warp) run() {
-	if w.inFlight || w.finishedIssue {
+	if w.inFlight || w.finishedIssue || w.dev.killed {
 		return
 	}
 	for w.pc < len(w.prog) {
@@ -625,6 +666,9 @@ func (w *warp) track(page mem.PageID, kind AccessKind, op *Op) *access {
 
 // satisfy completes an access: data arrived (or the store landed).
 func (w *warp) satisfy(acc *access) {
+	if w.dev.killed {
+		return
+	}
 	w.outstanding--
 	if acc.reg >= 0 {
 		w.regOut[acc.reg]--

@@ -10,6 +10,10 @@ var ErrKernelRunning = errors.New("gpu: kernel already running")
 // description (e.g. a negative block count).
 var ErrBadKernel = errors.New("gpu: invalid kernel")
 
+// ErrDeviceDead is returned by LaunchKernel after Kill: a dead device
+// accepts no more work.
+var ErrDeviceDead = errors.New("gpu: device is dead")
+
 // ErrBadProgram is the sentinel for a malformed warp program discovered
 // during execution (an unknown op kind). It surfaces through the engine's
 // terminal error, since warps run inside event callbacks.

@@ -2,12 +2,23 @@
 // testbed) and the GPU copy engines that move pages across it. Transfers
 // are charged per-DMA-operation latency plus bandwidth time; contiguous
 // pages coalesce into single operations, as the real driver arranges.
+//
+// With a hardware fault domain attached (SetHardware), the link also
+// models degraded-mode operation: a seeded, sim-time epoch schedule puts
+// the link in one of four health states — healthy, degraded-bandwidth
+// (transfers slow down), flapping (operations can drop after carrying
+// their bytes), or dead (a killed device's link refuses all traffic).
+// Without a hardware domain the link behaves, bit for bit, exactly as it
+// always has.
 package interconnect
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"guvm/internal/digest"
+	"guvm/internal/faultinject"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 )
@@ -33,12 +44,77 @@ func DefaultPCIe3x16() Config {
 	}
 }
 
+// Validate checks the configuration for values the cost model cannot
+// run with: a zero, negative or non-finite bandwidth divides by zero or
+// overflows the virtual clock, and the latency and engine count must be
+// physical.
+func (c Config) Validate() error {
+	switch {
+	case math.IsNaN(c.BandwidthBytesPerSec) || math.IsInf(c.BandwidthBytesPerSec, 0):
+		return fmt.Errorf("interconnect: BandwidthBytesPerSec = %v, need finite", c.BandwidthBytesPerSec)
+	case c.BandwidthBytesPerSec <= 0:
+		return fmt.Errorf("interconnect: BandwidthBytesPerSec = %v, need > 0", c.BandwidthBytesPerSec)
+	case c.OpLatency < 0:
+		return fmt.Errorf("interconnect: OpLatency = %v, need >= 0", c.OpLatency)
+	case c.CopyEngines < 1:
+		return fmt.Errorf("interconnect: CopyEngines = %d, need >= 1", c.CopyEngines)
+	}
+	return nil
+}
+
+// Health is a link's current fault-domain state.
+type Health uint8
+
+const (
+	// Healthy: full bandwidth, no drops.
+	Healthy Health = iota
+	// Degraded: transfers run at the hardware domain's reduced
+	// bandwidth factor.
+	Degraded
+	// Flapping: full bandwidth, but each operation may drop after
+	// carrying its bytes (the caller retries).
+	Flapping
+	// Dead: the device behind the link was killed; all traffic is
+	// refused.
+	Dead
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Flapping:
+		return "flapping"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// ErrLinkDown is returned by AttemptSpans on a dead link: the transfer
+// was refused and no cost accrued.
+var ErrLinkDown = errors.New("interconnect: link down")
+
+// ErrLinkFlapped is returned by AttemptSpans when a flapping link
+// dropped the operation. The bytes were carried (and charged) before
+// the drop, as on a real link whose completion was lost; the caller
+// retries with backoff.
+var ErrLinkFlapped = errors.New("interconnect: transfer dropped by flapping link")
+
 // Stats accumulates transfer accounting.
 type Stats struct {
 	Ops          int
 	BytesToGPU   uint64
 	BytesToHost  uint64
 	TransferTime sim.Time
+	// DegradedOps counts operations carried during degraded epochs;
+	// FlapDrops counts operations dropped by a flapping link. Both stay
+	// zero without a hardware fault domain.
+	DegradedOps int
+	FlapDrops   int
 }
 
 // Link computes virtual-time costs for data movement. The driver model
@@ -48,18 +124,63 @@ type Stats struct {
 type Link struct {
 	cfg   Config
 	stats Stats
+
+	// Hardware fault domain (nil in the default, always-healthy
+	// wiring): hw draws the health schedule, id names this link in the
+	// draws, now reads the virtual clock for epoch lookup.
+	hw  *faultinject.HardwareInjector
+	id  int
+	now func() sim.Time
+	// dead latches after Kill; opSeq sequences AttemptSpans operations
+	// for per-op flap draws.
+	dead  bool
+	opSeq uint64
 }
 
-// NewLink returns a link with the given configuration. A non-positive
-// bandwidth or engine count panics: the simulation would divide by zero.
+// NewLink returns a link with the given configuration. An invalid
+// configuration panics: the simulation would divide by zero.
 func NewLink(cfg Config) *Link {
-	if cfg.BandwidthBytesPerSec <= 0 {
-		panic("interconnect: non-positive bandwidth")
-	}
-	if cfg.CopyEngines <= 0 {
-		panic("interconnect: need at least one copy engine")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Link{cfg: cfg}
+}
+
+// SetHardware attaches a hardware fault domain: hw draws this link's
+// health schedule under identity id, and now supplies the virtual clock.
+func (l *Link) SetHardware(hw *faultinject.HardwareInjector, id int, now func() sim.Time) {
+	l.hw = hw
+	l.id = id
+	l.now = now
+}
+
+// Kill marks the link dead (its device was killed); every later
+// AttemptSpans fails with ErrLinkDown.
+func (l *Link) Kill() { l.dead = true }
+
+// Dead reports whether the link was killed.
+func (l *Link) Dead() bool { return l.dead }
+
+// Health returns the link's current fault-domain state. Without a
+// hardware domain the link is always healthy; with one, the state is a
+// stateless per-(link, epoch) draw, so querying it never perturbs any
+// stream. Flapping takes precedence over degraded when an epoch draws
+// both.
+func (l *Link) Health() Health {
+	if l.dead {
+		return Dead
+	}
+	if l.hw == nil || l.now == nil {
+		return Healthy
+	}
+	degraded, flapping := l.hw.LinkEpochDraws(l.id, l.hw.EpochOf(l.now()))
+	switch {
+	case flapping:
+		return Flapping
+	case degraded:
+		return Degraded
+	}
+	return Healthy
 }
 
 // Stats returns a copy of the accumulated transfer statistics.
@@ -69,37 +190,56 @@ func (l *Link) Stats() Stats { return l.stats }
 // state, since the link is a pure cost model.
 func (l *Link) AuditState() Stats { return l.stats }
 
-// Digest returns the FNV-1a digest of the canonical link state.
+// Digest returns the FNV-1a digest of the canonical link state. The
+// hardware-domain fields are folded in only when a domain is attached,
+// so default-wiring digests are unchanged from the pre-fault-domain
+// model.
 func (l *Link) Digest() uint64 {
 	h := digest.New()
 	h = h.Int(l.stats.Ops)
 	h = h.Uint64(l.stats.BytesToGPU).Uint64(l.stats.BytesToHost)
 	h = h.Int64(int64(l.stats.TransferTime))
+	if l.hw != nil {
+		h = h.Int(l.stats.DegradedOps).Int(l.stats.FlapDrops)
+		h = h.Uint64(l.opSeq).Bool(l.dead)
+	}
 	return h.Sum()
 }
 
 // Dump renders the audit state for divergence diagnostics.
 func (s Stats) Dump() string {
-	return fmt.Sprintf("link: %d ops, %d B to GPU, %d B to host, %v busy\n",
+	out := fmt.Sprintf("link: %d ops, %d B to GPU, %d B to host, %v busy\n",
 		s.Ops, s.BytesToGPU, s.BytesToHost, s.TransferTime)
+	if s.DegradedOps > 0 || s.FlapDrops > 0 {
+		out += fmt.Sprintf("link-hw: %d degraded ops, %d flap drops\n", s.DegradedOps, s.FlapDrops)
+	}
+	return out
 }
 
-// bytesTime converts a byte count to pure bandwidth time.
-func (l *Link) bytesTime(bytes uint64) sim.Time {
-	return sim.Time(float64(bytes) / l.cfg.BandwidthBytesPerSec * float64(sim.Second))
+// bytesTimeAt converts a byte count to pure bandwidth time under the
+// given health state (degraded epochs run at the reduced factor).
+func (l *Link) bytesTimeAt(bytes uint64, h Health) sim.Time {
+	bw := l.cfg.BandwidthBytesPerSec
+	if h == Degraded {
+		bw *= l.hw.DegradedFactor()
+	}
+	return sim.Time(float64(bytes) / bw * float64(sim.Second))
 }
 
-// TransferSpans charges a host→GPU (toGPU=true) or GPU→host migration of
-// the given page spans and returns its cost. Each span is one DMA
-// operation: per-op latency plus bandwidth time.
-func (l *Link) TransferSpans(spans []mem.Span, toGPU bool) sim.Time {
+// carrySpans charges the spans at the given health state and accounts
+// the bytes. The carry itself never fails — drop decisions are layered
+// on top by AttemptSpans.
+func (l *Link) carrySpans(spans []mem.Span, toGPU bool, h Health) sim.Time {
 	var total sim.Time
 	var bytes uint64
 	for _, s := range spans {
-		total += l.cfg.OpLatency + l.bytesTime(s.Bytes())
+		total += l.cfg.OpLatency + l.bytesTimeAt(s.Bytes(), h)
 		bytes += s.Bytes()
 	}
 	l.stats.Ops += len(spans)
+	if h == Degraded {
+		l.stats.DegradedOps += len(spans)
+	}
 	if toGPU {
 		l.stats.BytesToGPU += bytes
 	} else {
@@ -109,11 +249,55 @@ func (l *Link) TransferSpans(spans []mem.Span, toGPU bool) sim.Time {
 	return total
 }
 
+// TransferSpans charges a host→GPU (toGPU=true) or GPU→host migration of
+// the given page spans and returns its cost. Each span is one DMA
+// operation: per-op latency plus bandwidth time (reduced during
+// degraded epochs). The transfer always completes — it is the
+// guaranteed-delivery path, used for default wiring and for emergency
+// drains such as dead-device page re-homing.
+func (l *Link) TransferSpans(spans []mem.Span, toGPU bool) sim.Time {
+	h := l.Health()
+	if h == Dead || h == Flapping {
+		// Guaranteed delivery ignores drop regimes: carry at full
+		// bandwidth.
+		h = Healthy
+	}
+	return l.carrySpans(spans, toGPU, h)
+}
+
+// AttemptSpans is the fallible transfer path: a dead link refuses the
+// operation outright (no cost), and a flapping link carries the bytes —
+// charging the full cost — but may then drop the operation, returning
+// ErrLinkFlapped for the caller to retry. Healthy and degraded epochs
+// behave like TransferSpans.
+func (l *Link) AttemptSpans(spans []mem.Span, toGPU bool) (sim.Time, error) {
+	if l.dead {
+		return 0, ErrLinkDown
+	}
+	h := l.Health()
+	cost := l.carrySpans(spans, toGPU, h)
+	if h == Flapping {
+		l.opSeq++
+		if l.hw.TransferDrops(l.id, l.opSeq) {
+			l.stats.FlapDrops++
+			return cost, ErrLinkFlapped
+		}
+	}
+	return cost, nil
+}
+
 // TransferBytes charges one contiguous bulk copy (the explicit
 // cudaMemcpy-style baseline in Figure 1).
 func (l *Link) TransferBytes(bytes uint64, toGPU bool) sim.Time {
-	cost := l.cfg.OpLatency + l.bytesTime(bytes)
+	h := l.Health()
+	if h == Dead || h == Flapping {
+		h = Healthy
+	}
+	cost := l.cfg.OpLatency + l.bytesTimeAt(bytes, h)
 	l.stats.Ops++
+	if h == Degraded {
+		l.stats.DegradedOps++
+	}
 	if toGPU {
 		l.stats.BytesToGPU += bytes
 	} else {

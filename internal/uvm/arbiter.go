@@ -10,6 +10,11 @@ import "guvm/internal/sim"
 // multi-device interference the paper positions as follow-on work.
 //
 // The zero value is ready to use.
+//
+// The arbiter is also the system-level ledger for device-loss recovery:
+// when a device dies and its driver re-homes resident pages to the host
+// (rehome.go), the event is recorded here so audits and post-mortems can
+// account for every page across the fault domain.
 type Arbiter struct {
 	busy  bool
 	queue []func()
@@ -18,6 +23,8 @@ type Arbiter struct {
 	grants    int
 	queued    int
 	waitTotal sim.Time
+
+	rehomes []RehomeRecord
 
 	eng *sim.Engine
 }
@@ -35,6 +42,31 @@ type ArbiterStats struct {
 // Stats returns a copy of the contention counters.
 func (a *Arbiter) Stats() ArbiterStats {
 	return ArbiterStats{Grants: a.grants, Queued: a.queued, TotalWait: a.waitTotal}
+}
+
+// RehomeRecord is one audited device-loss recovery: device Device died
+// after Batch completed batches and its driver evacuated Pages resident
+// pages (Bytes bytes) across Blocks VABlocks back to host memory at
+// virtual time At.
+type RehomeRecord struct {
+	Device int
+	Batch  int
+	Blocks int
+	Pages  int
+	Bytes  uint64
+	At     sim.Time
+}
+
+// NoteRehome records a device-loss recovery in the system ledger.
+func (a *Arbiter) NoteRehome(r RehomeRecord) {
+	a.rehomes = append(a.rehomes, r)
+}
+
+// Rehomes returns the recorded device-loss recoveries in event order.
+func (a *Arbiter) Rehomes() []RehomeRecord {
+	out := make([]RehomeRecord, len(a.rehomes))
+	copy(out, a.rehomes)
+	return out
 }
 
 // Acquire runs fn as soon as the service slot is free: immediately if

@@ -38,7 +38,10 @@ type AuditState struct {
 	NextSeq        int
 	Sleeping       bool
 	InBatch        bool
-	Stats          Stats
+	// Dead reports device-loss: the driver re-homed its pages and parked
+	// (rehome.go). Dead drivers must hold no chunks.
+	Dead  bool
+	Stats Stats
 }
 
 // ResidentPages sums GPU-resident pages across blocks.
@@ -66,6 +69,7 @@ func (d *Driver) AuditState() AuditState {
 		NextSeq:        d.nextSeq,
 		Sleeping:       d.sleeping,
 		InBatch:        d.inBatch,
+		Dead:           d.dead,
 		Stats:          d.stats,
 	}
 	ids := make([]mem.VABlockID, 0, len(d.blocks))
@@ -124,6 +128,15 @@ func (d *Driver) Digest() uint64 {
 	h = h.Int(s.AsyncUnmapCalls).Int64(int64(s.AsyncUnmapTime))
 	h = h.Int(s.MigRetries).Int(s.HostAllocFailures).Int(s.BatchShrinks)
 	h = h.Uint64(s.ExplicitBytes).Uint64(s.InjMigRetryBytes)
+	// Hardware fault-domain state folds in only when the domain is
+	// attached, so default runs keep their historical digests.
+	if d.hw != nil {
+		h = h.Bool(st.Dead)
+		h = h.Int(s.HWLinkRetries).Int(s.DegradedShrinks)
+		h = h.Uint64(s.HWRetryToGPUBytes).Uint64(s.HWRetryToHostBytes)
+		h = h.Int(s.RehomedBlocks).Int(s.RehomedPages).Uint64(s.RehomedBytes)
+		h = h.Int(s.ResidentAtKill)
+	}
 	return h.Sum()
 }
 

@@ -130,6 +130,11 @@ type Config struct {
 	AdaptiveBatch bool
 	// AdaptiveMin floors the adaptive batch size (default 64).
 	AdaptiveMin int
+	// BatchSizing, when non-empty, names the registered batch-sizing
+	// policy directly, for policies the boolean knobs cannot derive
+	// (e.g. "degraded-aware"). Empty derives the name from
+	// AdaptiveBatch as before.
+	BatchSizing string
 
 	// AsyncUnmap performs CPU page unmapping preemptively at kernel
 	// launch instead of on the fault path (§6: "performing these
@@ -192,6 +197,11 @@ func (c Config) Validate() error {
 			return evictionRegistry.unknown(string(c.Eviction))
 		}
 	}
+	if c.BatchSizing != "" {
+		if _, ok := sizingRegistry.lookup(c.BatchSizing); !ok {
+			return sizingRegistry.unknown(c.BatchSizing)
+		}
+	}
 	return nil
 }
 
@@ -211,8 +221,12 @@ func (c Config) PrefetchPolicyName() string {
 }
 
 // BatchSizingName derives the registry name matching the batch-sizing
-// knobs: "adaptive" (duplicate-driven resizing) or "fixed".
+// knobs: the explicit BatchSizing override when set, else "adaptive"
+// (duplicate-driven resizing) or "fixed".
 func (c Config) BatchSizingName() string {
+	if c.BatchSizing != "" {
+		return c.BatchSizing
+	}
 	if c.AdaptiveBatch {
 		return "adaptive"
 	}

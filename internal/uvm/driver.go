@@ -75,6 +75,29 @@ type Stats struct {
 	// migration failures: the link charged them, but no batch record
 	// counts them as migrated.
 	InjMigRetryBytes uint64
+
+	// Hardware fault-domain telemetry (all zero unless a hardware
+	// injector is attached; see SetHardware).
+	//
+	// HWLinkRetries counts transfer attempts dropped by a flapping
+	// link (each drop triggers a retry unless the budget is exhausted);
+	// HWRetryToGPUBytes/HWRetryToHostBytes count the bytes those
+	// dropped attempts carried (charged by the link, but not counted by
+	// any batch record).
+	HWLinkRetries      int
+	HWRetryToGPUBytes  uint64
+	HWRetryToHostBytes uint64
+	// DegradedShrinks counts effective-batch halvings forced by the
+	// degraded-aware batch-sizing policy observing an unhealthy link.
+	DegradedShrinks int
+	// RehomedBlocks/RehomedPages/RehomedBytes account the emergency
+	// evacuation of GPU-resident pages to the host after device death;
+	// ResidentAtKill is the resident-page count at the instant of death
+	// (the page-conservation invariant requires RehomedPages to match).
+	RehomedBlocks  int
+	RehomedPages   int
+	RehomedBytes   uint64
+	ResidentAtKill int
 }
 
 // allocSpan records one managed allocation's VABlock range.
@@ -177,6 +200,13 @@ type Driver struct {
 	evictRNG *sim.RNG
 	inj      *faultinject.Injector
 
+	// hw, when set, is the hardware fault domain: the transfer paths
+	// retry flap-dropped link operations against it, and dead latches
+	// once the device behind this driver was killed and its pages
+	// re-homed (rehome.go).
+	hw   *faultinject.HardwareInjector
+	dead bool
+
 	// arbiter, when set, serializes batch servicing with other drivers
 	// sharing the host (multi-GPU).
 	arbiter *Arbiter
@@ -254,6 +284,20 @@ func (d *Driver) SetInjector(in *faultinject.Injector) {
 	d.inj = in
 	d.vm.SetInjector(in)
 }
+
+// SetHardware attaches the hardware fault domain: link transfers become
+// fallible (retried with deterministic backoff) and the driver can lose
+// its device (RehomeToHost). A nil injector (the default) keeps every
+// transfer on the guaranteed path, bit-identical to the pre-fault-domain
+// model.
+func (d *Driver) SetHardware(hw *faultinject.HardwareInjector) { d.hw = hw }
+
+// Hardware returns the attached hardware fault domain (nil by default).
+func (d *Driver) Hardware() *faultinject.HardwareInjector { return d.hw }
+
+// Dead reports whether this driver's device was killed and its resident
+// pages re-homed to the host.
+func (d *Driver) Dead() bool { return d.dead }
 
 // Config returns the driver configuration.
 func (d *Driver) Config() Config { return d.cfg }

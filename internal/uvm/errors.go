@@ -11,3 +11,9 @@ var ErrCapacityExhausted = errors.New("uvm: device memory capacity exhausted")
 // attempts (including the bounded retry budget) all failed. It is only
 // reachable with fault injection enabled.
 var ErrMigrationFailed = errors.New("uvm: migration failed")
+
+// ErrLinkFailed is the sentinel for a link transfer the hardware fault
+// domain made unserviceable: either the link is dead (its device was
+// killed) or a flapping link dropped every attempt in the retry budget.
+// It is only reachable with the hardware fault domain enabled.
+var ErrLinkFailed = errors.New("uvm: interconnect link failed")

@@ -14,6 +14,9 @@ import (
 
 // onInterrupt is the device's interrupt line: wake the worker if asleep.
 func (d *Driver) onInterrupt() {
+	if d.dead {
+		return
+	}
 	if !d.sleeping {
 		d.stats.SpuriousWakeUps++
 		return
@@ -26,7 +29,7 @@ func (d *Driver) onInterrupt() {
 // startBatch opens a batch: acquire the (possibly shared) service slot,
 // charge setup, then drain the buffer.
 func (d *Driver) startBatch() {
-	if d.inBatch {
+	if d.inBatch || d.dead {
 		return
 	}
 	if d.dev.Buffer.Len() == 0 {

@@ -183,7 +183,10 @@ func init() {
 	sizingRegistry.register("fixed",
 		"fixed effective batch size (shipped driver: BatchSize faults per batch)",
 		sizingPayload{
-			apply: func(c *Config) { c.AdaptiveBatch = false },
+			apply: func(c *Config) {
+				c.AdaptiveBatch = false
+				c.BatchSizing = ""
+			},
 			sizer: fixedSizer{},
 		})
 	sizingRegistry.register("adaptive",
@@ -191,6 +194,7 @@ func init() {
 		sizingPayload{
 			apply: func(c *Config) {
 				c.AdaptiveBatch = true
+				c.BatchSizing = ""
 				if c.AdaptiveMin < 1 {
 					c.AdaptiveMin = 64
 				}
@@ -199,6 +203,22 @@ func init() {
 				}
 			},
 			sizer: adaptiveSizer{},
+		})
+
+	sizingRegistry.register("degraded-aware",
+		"adaptive sizing that halves the batch while the interconnect is degraded, flapping or dead",
+		sizingPayload{
+			apply: func(c *Config) {
+				c.AdaptiveBatch = true
+				c.BatchSizing = "degraded-aware"
+				if c.AdaptiveMin < 1 {
+					c.AdaptiveMin = 64
+				}
+				if c.AdaptiveMin > c.BatchSize {
+					c.AdaptiveMin = c.BatchSize
+				}
+			},
+			sizer: degradedSizer{},
 		})
 }
 

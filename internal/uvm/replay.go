@@ -5,7 +5,10 @@ package uvm
 // record, and run the batch sizer and observers. The registered
 // BatchSizer implementations live here too.
 
-import "guvm/internal/trace"
+import (
+	"guvm/internal/interconnect"
+	"guvm/internal/trace"
+)
 
 // replayStage folds the per-block costs into the batch total (serial sum
 // or parallel makespan, §6's proposed parallelization — imbalance across
@@ -75,4 +78,30 @@ func (adaptiveSizer) Update(d *Driver, rec *trace.BatchRecord) {
 			d.effBatch = d.cfg.BatchSize
 		}
 	}
+}
+
+// degradedSizer shrinks the effective batch while the interconnect is
+// unhealthy — smaller batches mean smaller transfers, so a flap drop
+// re-carries less and a degraded link holds the service slot for less
+// time — and falls back to duplicate-adaptive behaviour on a healthy
+// link. The health query is a stateless hash draw, so consulting it
+// perturbs nothing.
+type degradedSizer struct{}
+
+func (degradedSizer) Update(d *Driver, rec *trace.BatchRecord) {
+	if d.link.Health() != interconnect.Healthy {
+		floor := d.cfg.AdaptiveMin
+		if floor < 1 {
+			floor = 1
+		}
+		if d.effBatch > floor {
+			d.effBatch /= 2
+			if d.effBatch < floor {
+				d.effBatch = floor
+			}
+			d.stats.DegradedShrinks++
+		}
+		return
+	}
+	adaptiveSizer{}.Update(d, rec)
 }

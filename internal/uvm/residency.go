@@ -116,10 +116,16 @@ func (d *Driver) evictOne(current mem.VABlockID, bc *batchCtx) (sim.Time, error)
 	if len(sc.evictPages) > 0 {
 		// Write back resident pages to the host. The data lands in
 		// host memory but is NOT remapped to the CPU: a later GPU
-		// re-fetch pays no unmap cost (Figure 13's cost levels).
+		// re-fetch pays no unmap cost (Figure 13's cost levels). Under
+		// the hardware fault domain the writeback retries flap drops
+		// like any other transfer.
 		spans := mem.CoalescePagesInto(sc.evictSpans[:0], sc.evictPages)
 		sc.evictSpans = spans
-		cost += d.link.TransferSpans(spans, false)
+		t, err := d.carryOverLink(victim.id, spans, false)
+		cost += t
+		if err != nil {
+			return cost, err
+		}
 		cost += sim.Time(len(sc.evictPages)) * d.cfg.Costs.EvictPerPage
 		bc.rec.EvictedBytes += uint64(len(sc.evictPages)) * mem.PageSize
 	}

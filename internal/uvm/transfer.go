@@ -5,9 +5,11 @@ package uvm
 // page-table updates, including the injected-failure retry paths.
 
 import (
+	"errors"
 	"fmt"
 
 	"guvm/internal/faultinject"
+	"guvm/internal/interconnect"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
 	"guvm/internal/trace"
@@ -163,5 +165,51 @@ func (d *Driver) transferWithRetry(bid mem.VABlockID, spans []mem.Span, rec *tra
 		return cost, fmt.Errorf("uvm: migrating block %d: %d transfer attempts failed: %w",
 			bid, failures, ErrMigrationFailed)
 	}
-	return cost + d.link.TransferSpans(spans, true), nil
+	t, err := d.carryOverLink(bid, spans, true)
+	return cost + t, err
+}
+
+// carryOverLink moves spans over the link, surviving the hardware fault
+// domain: a flap-dropped operation is retried with deterministic
+// exponential backoff up to the domain's budget, with the dropped
+// attempts' bytes accounted as HW retry traffic (the link charged them,
+// but no batch record counts them). Without a hardware domain this is
+// exactly one guaranteed TransferSpans — the default hot path pays a
+// single nil check.
+func (d *Driver) carryOverLink(bid mem.VABlockID, spans []mem.Span, toGPU bool) (sim.Time, error) {
+	if d.hw == nil {
+		return d.link.TransferSpans(spans, toGPU), nil
+	}
+	limit := d.hw.RetryLimit()
+	var cost sim.Time
+	for attempt := 0; ; attempt++ {
+		t, err := d.link.AttemptSpans(spans, toGPU)
+		cost += t
+		if err == nil {
+			if attempt > 0 {
+				d.hw.NoteTransferRecovered()
+			}
+			return cost, nil
+		}
+		if errors.Is(err, interconnect.ErrLinkDown) {
+			return cost, fmt.Errorf("uvm: transferring block %d over dead link: %w", bid, ErrLinkFailed)
+		}
+		var bytes uint64
+		for _, sp := range spans {
+			bytes += sp.Bytes()
+		}
+		if toGPU {
+			d.stats.HWRetryToGPUBytes += bytes
+		} else {
+			d.stats.HWRetryToHostBytes += bytes
+		}
+		d.stats.HWLinkRetries++
+		if attempt >= limit {
+			d.hw.NoteTransferUnrecovered()
+			return cost, fmt.Errorf("uvm: transferring block %d: %d flapping-link attempts failed: %w",
+				bid, attempt+1, ErrLinkFailed)
+		}
+		d.hw.NoteTransferRetried()
+		cost += d.hw.RetryBackoffFor(attempt)
+	}
 }

@@ -1,7 +1,6 @@
 package guvm
 
 import (
-	"errors"
 	"fmt"
 
 	"guvm/internal/audit"
@@ -11,6 +10,7 @@ import (
 	"guvm/internal/interconnect"
 	"guvm/internal/mem"
 	"guvm/internal/sim"
+	"guvm/internal/trace"
 	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
@@ -29,6 +29,10 @@ type MultiSimulator struct {
 	HostVM   *hostos.VM
 	Arbiter  *uvm.Arbiter
 	Injector *faultinject.Injector
+	// HW is the shared hardware fault-domain injector (nil unless
+	// SystemConfig.HW enables a fault regime). Link-health draws stay
+	// independent per device: each decision folds in the link index.
+	HW       *faultinject.HardwareInjector
 	Auditors []*audit.Auditor
 
 	used bool
@@ -61,6 +65,17 @@ func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 		Arbiter:  arb,
 		Injector: inj,
 	}
+	if cfg.HW.Enabled() {
+		hw, err := faultinject.NewHardware(cfg.HW)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.HW.KillBatch > 0 && cfg.HW.KillDevice >= n {
+			return nil, fmt.Errorf("guvm: HW.KillDevice = %d, system has %d devices",
+				cfg.HW.KillDevice, n)
+		}
+		m.HW = hw
+	}
 	for i := 0; i < n; i++ {
 		link := interconnect.NewLink(cfg.Link)
 		drv, err := uvm.NewDriver(cfg.Driver, eng, vm, link)
@@ -77,17 +92,48 @@ func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 		drv.SetArbiter(arb)
 		drv.SetInjector(inj)
 		dev.SetInjector(inj)
+		if m.HW != nil {
+			link.SetHardware(m.HW, i, eng.Now)
+			drv.SetHardware(m.HW)
+		}
 		if cfg.Audit.Active() {
-			// Every driver aliases the one host VM and the one injector,
-			// so the per-device checks that reconcile against them are
-			// disabled.
-			a := audit.New(cfg.Audit, audit.Options{SharedHost: true, SharedInjector: true},
+			// Every driver aliases the one host VM, the one injector and
+			// the one hardware domain, so the per-device checks that
+			// reconcile against them are disabled.
+			a := audit.New(cfg.Audit,
+				audit.Options{SharedHost: true, SharedInjector: true, SharedHardware: true},
 				eng, drv, dev, vm, inj)
+			a.SetHardware(m.HW)
 			a.Attach()
 			m.Auditors = append(m.Auditors, a)
 		}
 		m.Drivers = append(m.Drivers, drv)
 		m.Devices = append(m.Devices, dev)
+	}
+	if m.HW != nil && cfg.HW.KillBatch > 0 {
+		// Device-death schedule: kill the victim after it completes the
+		// configured number of batches; surviving devices keep running
+		// and the arbiter ledger records the recovery for the audit.
+		victim, kill := cfg.HW.KillDevice, cfg.HW.KillBatch
+		drv, dev := m.Drivers[victim], m.Devices[victim]
+		drv.AddBatchObserver(func(id int, _ *trace.BatchRecord) {
+			if id+1 != kill {
+				return
+			}
+			dev.Kill()
+			rep := drv.RehomeToHost()
+			m.HW.NoteDeviceKilled()
+			drv.Link().Kill()
+			arb.NoteRehome(uvm.RehomeRecord{
+				Device: victim,
+				Batch:  kill,
+				Blocks: rep.Blocks,
+				Pages:  rep.Pages,
+				Bytes:  rep.Bytes,
+				At:     eng.Now(),
+			})
+			eng.Schedule(rep.Cost, func() {})
+		})
 	}
 	return m, nil
 }
@@ -97,7 +143,7 @@ func NewMultiSimulator(cfg SystemConfig, n int) (*MultiSimulator, error) {
 // MultiSimulator is single-shot.
 func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, error) {
 	if m.used {
-		return nil, errors.New("guvm: MultiSimulator is single-shot")
+		return nil, fmt.Errorf("guvm: MultiSimulator already ran: %w", ErrSimulatorReused)
 	}
 	m.used = true
 	if len(ws) != len(m.Devices) {
@@ -189,19 +235,21 @@ func (m *MultiSimulator) RunConcurrent(ws []workloads.Workload) ([]*Result, erro
 	for i := range ws {
 		col := m.Drivers[i].Collector
 		results[i] = &Result{
-			Workload:    ws[i].Name(),
-			KernelTime:  kernelTimes[i],
-			TotalTime:   m.Engine.Now(),
-			Batches:     col.Batches,
-			Faults:      col.Faults,
-			FaultBatch:  col.FaultBatch,
-			Bases:       basesPer[i],
-			DriverStats: m.Drivers[i].Stats(),
-			DeviceStats: m.Devices[i].Stats(),
-			HostStats:   m.HostVM.Stats(),
-			LinkStats:   m.Drivers[i].Link().Stats(),
-			InjectStats: m.Injector.Stats(),
-			Audit:       auditReps[i],
+			Workload:     ws[i].Name(),
+			KernelTime:   kernelTimes[i],
+			TotalTime:    m.Engine.Now(),
+			Batches:      col.Batches,
+			Faults:       col.Faults,
+			FaultBatch:   col.FaultBatch,
+			Bases:        basesPer[i],
+			DriverStats:  m.Drivers[i].Stats(),
+			DeviceStats:  m.Devices[i].Stats(),
+			HostStats:    m.HostVM.Stats(),
+			LinkStats:    m.Drivers[i].Link().Stats(),
+			InjectStats:  m.Injector.Stats(),
+			HWStats:      m.HW.Stats(),
+			DeviceFailed: m.Drivers[i].Dead(),
+			Audit:        auditReps[i],
 		}
 		if err := auditReps[i].Err(); err != nil && auditErr == nil {
 			auditErr = fmt.Errorf("guvm: device %d run completed but failed its audit: %w", i, err)

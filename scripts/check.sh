@@ -16,6 +16,15 @@ go run ./cmd/uvmsim -workload vecadd -audit > /dev/null
 go run ./cmd/uvmsim -workload stream -mb 16 -audit > /dev/null
 go run ./cmd/uvmsim -workload stream -mb 16 -verify-determinism > /dev/null
 
+# Degraded-mode gate: the same stream run must stay audit-clean and
+# digest-deterministic with the hardware fault domain engaged, and the
+# multi-GPU device-death drill must conserve every page and replay
+# digest-identically under the same seed.
+go run ./cmd/uvmsim -workload stream -mb 16 -audit -hw-fault > /dev/null
+go run ./cmd/uvmsim -workload stream -mb 16 -hw-fault -verify-determinism > /dev/null
+go run ./cmd/uvmsim -workload stream -mb 16 -audit -hw-fault -hw-kill-batch 3 > /dev/null
+go test -run 'TestMultiGPUDeviceDeathDrill|TestSingleDeviceKillRehomesPages' -count=1 .
+
 # Observability gate: the audited vecadd Chrome trace must match the
 # golden file byte-for-byte, and the live /metrics endpoint must serve a
 # Prometheus exposition of a known counter from a running simulation.
