@@ -92,12 +92,56 @@ type Stats struct {
 	InjectedDropsLost   int // drops whose re-emission budget ran out
 }
 
-// access is one outstanding page access by one warp.
+// access is one outstanding page access by one warp. Instances are
+// pooled on the Device free list: an access is recycled exactly where
+// its lifecycle ends (warp.satisfy), never while a faultEntry waiter
+// list or the replay recheck buffer can still reach it.
 type access struct {
 	warp *warp
 	page mem.PageID
 	kind AccessKind
 	reg  int // destination scoreboard register for reads, else -1
+}
+
+// satisfyAccFn is the arg-carrying completion callback for a memory
+// access. A top-level func(any) lets the hot issue/recheck paths
+// schedule completions through ScheduleArg with zero closures.
+func satisfyAccFn(v any) {
+	a := v.(*access)
+	a.warp.satisfy(a)
+}
+
+// deliverEv is a pooled in-flight fault-record delivery (emitFault ->
+// deliver after the GMMU latency). Injection retries reschedule the
+// same struct with attempt incremented, so one logical record costs one
+// allocation at most, usually none.
+type deliverEv struct {
+	d       *Device
+	f       Fault
+	attempt int
+}
+
+func deliverFn(v any) {
+	de := v.(*deliverEv)
+	de.d.deliver(de)
+}
+
+// emitEv is a pooled deferred fault emission: the re-fault path's
+// throttle-paced hop before emitFault. Kept as its own event so the
+// refault chain stays two events (pace, then deliver) — the engine
+// sequence numbers, and therefore the digests, depend on it.
+type emitEv struct {
+	d    *Device
+	page mem.PageID
+	w    *warp
+	kind AccessKind
+}
+
+func emitFn(v any) {
+	ee := v.(*emitEv)
+	d := ee.d
+	d.emitFault(ee.page, ee.w, ee.kind, false)
+	d.emitFree = append(d.emitFree, ee)
 }
 
 // faultEntry is a pending µTLB fault: the page plus all accesses waiting
@@ -169,6 +213,12 @@ type warp struct {
 	inFlight      bool // a continuation event is scheduled
 	finishedIssue bool
 	completed     bool
+
+	// cont and wakeFn are the warp's two callbacks, bound once at warp
+	// creation so every schedule/wake reuses them instead of allocating
+	// a fresh closure or method value per event.
+	cont   func()
+	wakeFn func()
 }
 
 // Device is the modeled GPU.
@@ -197,6 +247,59 @@ type Device struct {
 	nextWarpID int
 	killed     bool
 	stats      Stats
+
+	// Free lists for the per-event hot-path records. Recycling them (plus
+	// the arg-carrying schedule callbacks above) is what keeps the
+	// device's steady-state event traffic allocation-free.
+	accFree    []*access
+	feFree     []*faultEntry
+	delivFree  []*deliverEv
+	emitFree   []*emitEv
+	recheckBuf []*access // replay scratch, reused across replays
+}
+
+func (d *Device) newAccess() *access {
+	if n := len(d.accFree); n > 0 {
+		a := d.accFree[n-1]
+		d.accFree = d.accFree[:n-1]
+		return a
+	}
+	return &access{}
+}
+
+func (d *Device) newFaultEntry() *faultEntry {
+	if n := len(d.feFree); n > 0 {
+		e := d.feFree[n-1]
+		d.feFree = d.feFree[:n-1]
+		return e
+	}
+	return &faultEntry{}
+}
+
+func (d *Device) freeFaultEntry(e *faultEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	d.feFree = append(d.feFree, e)
+}
+
+func (d *Device) newDeliverEv() *deliverEv {
+	if n := len(d.delivFree); n > 0 {
+		de := d.delivFree[n-1]
+		d.delivFree = d.delivFree[:n-1]
+		return de
+	}
+	return &deliverEv{d: d}
+}
+
+func (d *Device) newEmitEv() *emitEv {
+	if n := len(d.emitFree); n > 0 {
+		ee := d.emitFree[n-1]
+		d.emitFree = d.emitFree[:n-1]
+		return ee
+	}
+	return &emitEv{d: d}
 }
 
 // NewDevice builds a device on the given engine with the given residency
@@ -289,6 +392,11 @@ func (d *Device) startBlock(s *smState) {
 			regOut: make(map[int]int),
 		}
 		d.nextWarpID++
+		w.cont = func() {
+			w.inFlight = false
+			w.run()
+		}
+		w.wakeFn = w.wake
 		br.warps = append(br.warps, w)
 	}
 	if len(br.warps) == 0 {
@@ -296,8 +404,9 @@ func (d *Device) startBlock(s *smState) {
 		return
 	}
 	for _, w := range br.warps {
-		w := w
-		d.eng.Schedule(0, w.run)
+		// cont is run() behind an inFlight clear; inFlight is false at
+		// launch, so this is the plain initial run.
+		d.eng.Schedule(0, w.cont)
 	}
 }
 
@@ -341,9 +450,9 @@ func (d *Device) Kill() {
 	d.liveBlocks = 0
 	d.Buffer.Flush()
 	for _, u := range d.utlbs {
-		u.pending = make(map[mem.PageID]*faultEntry)
+		clear(u.pending)
 		u.order = u.order[:0]
-		u.prefetchPending = make(map[mem.PageID]*faultEntry)
+		clear(u.prefetchPending)
 		u.prefetchOrder = u.prefetchOrder[:0]
 		u.stalled = nil
 		u.deferred = nil
@@ -359,7 +468,8 @@ func (d *Device) Killed() bool { return d.killed }
 // emitFault writes a fault record into the buffer after the GMMU latency
 // and raises the interrupt line on an empty->non-empty transition.
 func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) {
-	f := Fault{
+	de := d.newDeliverEv()
+	de.f = Fault{
 		Page:  page,
 		SM:    w.sm.id,
 		UTLB:  w.sm.utlb.id,
@@ -368,7 +478,8 @@ func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) 
 		Kind:  kind,
 		Dup:   dup,
 	}
-	d.eng.Schedule(d.cfg.GMMULatency, func() { d.deliver(f, 0) })
+	de.attempt = 0
+	d.eng.ScheduleArg(d.cfg.GMMULatency, deliverFn, de)
 }
 
 // deliver lands one fault record in the buffer. With fault injection
@@ -377,32 +488,37 @@ func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) 
 // budget. A record that exhausts its budget stays lost until the driver's
 // next fault replay re-checks the µTLB's pending entries (the software
 // safety net real GPUs rely on for dropped faults).
-func (d *Device) deliver(f Fault, attempt int) {
+func (d *Device) deliver(de *deliverEv) {
 	if d.killed {
+		d.delivFree = append(d.delivFree, de)
 		return
 	}
 	if d.inj.ShouldDropFault() {
 		d.stats.InjectedDrops++
-		if attempt < d.inj.BufferRetryBudget() {
+		if de.attempt < d.inj.BufferRetryBudget() {
 			d.inj.NoteRetried(faultinject.BufferDrop)
 			d.stats.InjectedDropRetries++
 			delay := d.inj.BufferRetryDelay()
 			if delay <= 0 {
 				delay = d.cfg.GMMULatency
 			}
-			d.eng.Schedule(delay, func() { d.deliver(f, attempt+1) })
+			de.attempt++
+			d.eng.ScheduleArg(delay, deliverFn, de)
 		} else {
 			// Budget exhausted: the record is lost. If a later batch
 			// replays, the waiting access re-faults (software recovery);
 			// otherwise the run surfaces a stall diagnostic.
 			d.inj.NoteUnrecovered(faultinject.BufferDrop)
 			d.stats.InjectedDropsLost++
+			d.delivFree = append(d.delivFree, de)
 		}
 		return
 	}
-	if attempt > 0 {
+	if de.attempt > 0 {
 		d.inj.NoteRecovered(faultinject.BufferDrop)
 	}
+	f := de.f
+	d.delivFree = append(d.delivFree, de)
 	f.Time = d.eng.Now()
 	wasEmpty := d.Buffer.Len() == 0
 	if !d.Buffer.Push(f) {
@@ -424,34 +540,39 @@ func (d *Device) Replay() {
 	if d.killed {
 		return
 	}
-	var rechecks []*access
+	rechecks := d.recheckBuf[:0]
 	for _, u := range d.utlbs {
 		for _, page := range u.order {
 			e := u.pending[page]
 			rechecks = append(rechecks, e.waiters...)
+			d.freeFaultEntry(e)
 		}
 		for _, page := range u.prefetchOrder {
 			e := u.prefetchPending[page]
 			rechecks = append(rechecks, e.waiters...)
+			d.freeFaultEntry(e)
 		}
-		u.pending = make(map[mem.PageID]*faultEntry)
+		clear(u.pending)
 		u.order = u.order[:0]
-		u.prefetchPending = make(map[mem.PageID]*faultEntry)
+		clear(u.prefetchPending)
 		u.prefetchOrder = u.prefetchOrder[:0]
 		// Deferred re-faults from the previous replay go first.
 		rechecks = append(rechecks, u.deferred...)
-		u.deferred = nil
+		u.deferred = u.deferred[:0]
 	}
 	for _, acc := range rechecks {
 		d.recheck(acc)
 	}
+	for i := range rechecks {
+		rechecks[i] = nil
+	}
+	d.recheckBuf = rechecks[:0]
 	// Capacity freed: wake warps stalled on full µTLBs.
 	for _, u := range d.utlbs {
 		stalled := u.stalled
-		u.stalled = nil
+		u.stalled = u.stalled[:0]
 		for _, w := range stalled {
-			w := w
-			d.eng.Schedule(0, w.wake)
+			d.eng.Schedule(0, w.wakeFn)
 		}
 	}
 }
@@ -460,8 +581,7 @@ func (d *Device) Replay() {
 // otherwise re-fault.
 func (d *Device) recheck(acc *access) {
 	if d.res.IsResidentOnGPU(acc.page) {
-		w := acc.warp
-		d.eng.Schedule(d.cfg.MemLatency, func() { w.satisfy(acc) })
+		d.eng.ScheduleArg(d.cfg.MemLatency, satisfyAccFn, acc)
 		return
 	}
 	d.stats.Refaults++
@@ -480,7 +600,7 @@ func (d *Device) refault(acc *access) {
 			e.waiters = append(e.waiters, acc)
 			return
 		}
-		u.prefetchPending[acc.page] = &faultEntry{page: acc.page, firstWarp: w.id, waiters: []*access{acc}}
+		u.prefetchPending[acc.page] = d.pendFaultEntry(acc, w)
 		u.prefetchOrder = append(u.prefetchOrder, acc.page)
 		d.emitFault(acc.page, w, acc.kind, false)
 		return
@@ -493,25 +613,32 @@ func (d *Device) refault(acc *access) {
 		u.deferred = append(u.deferred, acc)
 		return
 	}
-	u.pending[acc.page] = &faultEntry{page: acc.page, firstWarp: w.id, waiters: []*access{acc}}
+	u.pending[acc.page] = d.pendFaultEntry(acc, w)
 	u.order = append(u.order, acc.page)
 	delay := w.sm.reserveThrottleSlot()
 	if delay == 0 {
 		d.emitFault(acc.page, w, acc.kind, false)
 		return
 	}
-	page, kind := acc.page, acc.kind
-	d.eng.Schedule(delay, func() { d.emitFault(page, w, kind, false) })
+	ee := d.newEmitEv()
+	ee.page, ee.w, ee.kind = acc.page, w, acc.kind
+	d.eng.ScheduleArg(delay, emitFn, ee)
+}
+
+// pendFaultEntry builds a pooled pending-fault entry with acc as its
+// first waiter.
+func (d *Device) pendFaultEntry(acc *access, w *warp) *faultEntry {
+	e := d.newFaultEntry()
+	e.page, e.firstWarp = acc.page, w.id
+	e.waiters = append(e.waiters, acc)
+	return e
 }
 
 // ---- warp execution ----
 
 func (w *warp) schedule(delay sim.Time) {
 	w.inFlight = true
-	w.dev.eng.Schedule(delay, func() {
-		w.inFlight = false
-		w.run()
-	})
+	w.dev.eng.Schedule(delay, w.cont)
 }
 
 // wake resumes a warp parked on a scoreboard or µTLB stall.
@@ -593,7 +720,7 @@ func (w *warp) issue(page mem.PageID, op *Op) issueResult {
 	if d.res.IsResidentOnGPU(page) {
 		d.Counters.record(page)
 		acc := w.track(page, kind, op)
-		d.eng.Schedule(d.cfg.MemLatency, func() { w.satisfy(acc) })
+		d.eng.ScheduleArg(d.cfg.MemLatency, satisfyAccFn, acc)
 		return issueOK
 	}
 	u := w.sm.utlb
@@ -607,7 +734,7 @@ func (w *warp) issue(page mem.PageID, op *Op) issueResult {
 			}
 			return issueOK
 		}
-		u.prefetchPending[page] = &faultEntry{page: page, firstWarp: w.id, waiters: []*access{acc}}
+		u.prefetchPending[page] = d.pendFaultEntry(acc, w)
 		u.prefetchOrder = append(u.prefetchOrder, page)
 		d.emitFault(page, w, kind, false)
 		return issueOK
@@ -634,7 +761,7 @@ func (w *warp) issue(page mem.PageID, op *Op) issueResult {
 		return issueThrottled
 	}
 	acc := w.track(page, kind, op)
-	u.pending[page] = &faultEntry{page: page, firstWarp: w.id, waiters: []*access{acc}}
+	u.pending[page] = d.pendFaultEntry(acc, w)
 	u.order = append(u.order, page)
 	w.sm.chargeThrottle()
 	d.emitFault(page, w, kind, false)
@@ -653,7 +780,7 @@ func accessKindOf(k OpKind) AccessKind {
 	panic("gpu: not a memory op")
 }
 
-// track registers an outstanding access.
+// track registers an outstanding access on a pooled record.
 func (w *warp) track(page mem.PageID, kind AccessKind, op *Op) *access {
 	reg := -1
 	if op.Kind == OpRead {
@@ -661,20 +788,28 @@ func (w *warp) track(page mem.PageID, kind AccessKind, op *Op) *access {
 		w.regOut[reg]++
 	}
 	w.outstanding++
-	return &access{warp: w, page: page, kind: kind, reg: reg}
+	acc := w.dev.newAccess()
+	acc.warp, acc.page, acc.kind, acc.reg = w, page, kind, reg
+	return acc
 }
 
-// satisfy completes an access: data arrived (or the store landed).
+// satisfy completes an access: data arrived (or the store landed). This
+// is the end of the access's lifecycle, so the record returns to the
+// device pool here (skipped on a killed device, where pools are dead
+// weight anyway).
 func (w *warp) satisfy(acc *access) {
 	if w.dev.killed {
 		return
 	}
 	w.outstanding--
-	if acc.reg >= 0 {
-		w.regOut[acc.reg]--
-		if w.regOut[acc.reg] == 0 && w.waitingRegs {
+	reg := acc.reg
+	acc.warp = nil
+	w.dev.accFree = append(w.dev.accFree, acc)
+	if reg >= 0 {
+		w.regOut[reg]--
+		if w.regOut[reg] == 0 && w.waitingRegs {
 			w.waitingRegs = false
-			w.dev.eng.Schedule(0, w.wake)
+			w.dev.eng.Schedule(0, w.wakeFn)
 		}
 	}
 	w.maybeComplete()

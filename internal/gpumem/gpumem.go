@@ -29,8 +29,16 @@ type Stats struct {
 type Allocator struct {
 	capacity int
 	free     []ChunkID
-	owner    map[ChunkID]mem.VABlockID // live chunk -> backing VABlock
-	stats    Stats
+	// ChunkIDs are dense 0..capacity-1, so ownership is a flat slice
+	// indexed by chunk plus a liveness bitmap — no per-lookup hashing on
+	// the eviction and audit paths.
+	owner []mem.VABlockID // backing VABlock per chunk, valid while live
+	live  []uint64        // liveness bitmap, one bit per chunk
+	stats Stats
+}
+
+func (a *Allocator) isLive(id ChunkID) bool {
+	return a.live[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // New builds an allocator over capacityBytes of device memory. It panics
@@ -43,7 +51,8 @@ func New(capacityBytes uint64) *Allocator {
 	a := &Allocator{
 		capacity: n,
 		free:     make([]ChunkID, 0, n),
-		owner:    make(map[ChunkID]mem.VABlockID),
+		owner:    make([]mem.VABlockID, n),
+		live:     make([]uint64, (n+63)/64),
 	}
 	// Stack the free list so chunk 0 pops first.
 	for i := n - 1; i >= 0; i-- {
@@ -78,6 +87,7 @@ func (a *Allocator) Alloc(block mem.VABlockID) (ChunkID, bool) {
 	id := a.free[len(a.free)-1]
 	a.free = a.free[:len(a.free)-1]
 	a.owner[id] = block
+	a.live[id>>6] |= 1 << (uint(id) & 63)
 	a.stats.Allocs++
 	if inUse := a.InUse(); inUse > a.stats.PeakInUse {
 		a.stats.PeakInUse = inUse
@@ -91,16 +101,18 @@ func (a *Allocator) Release(id ChunkID) {
 	if id < 0 || int(id) >= a.capacity {
 		panic(fmt.Sprintf("gpumem: release of invalid chunk %d", id))
 	}
-	if _, ok := a.owner[id]; !ok {
+	if !a.isLive(id) {
 		panic(fmt.Sprintf("gpumem: double free of chunk %d", id))
 	}
-	delete(a.owner, id)
+	a.live[id>>6] &^= 1 << (uint(id) & 63)
 	a.free = append(a.free, id)
 	a.stats.Frees++
 }
 
 // Owner returns the VABlock a live chunk backs.
 func (a *Allocator) Owner(id ChunkID) (mem.VABlockID, bool) {
-	b, ok := a.owner[id]
-	return b, ok
+	if id < 0 || int(id) >= a.capacity || !a.isLive(id) {
+		return 0, false
+	}
+	return a.owner[id], true
 }

@@ -2,7 +2,6 @@ package hostos
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"guvm/internal/digest"
@@ -30,7 +29,7 @@ type AuditState struct {
 
 // MappedPages returns a copy of the live-CPU-mapping page set of block.
 func (vm *VM) MappedPages(block mem.VABlockID) mem.PageSet {
-	if bm := vm.mapped[block]; bm != nil {
+	if bm := vm.mapped.Lookup(block); bm != nil {
 		return bm.pages
 	}
 	return mem.PageSet{}
@@ -43,21 +42,19 @@ func (vm *VM) AuditState() AuditState {
 		DMANext:    vm.dmaNext,
 		Stats:      vm.stats,
 	}
-	blocks := make([]mem.VABlockID, 0, len(vm.mapped))
-	for b, bm := range vm.mapped {
+	// BlockDir ranges in ascending block order — the canonical order the
+	// former sorted-keys walk produced. Blocks whose mappings were fully
+	// torn down stay in the directory but are skipped, as before.
+	vm.mapped.Range(func(b mem.VABlockID, bm *blockMapping) bool {
 		if bm.pages.Any() {
-			blocks = append(blocks, b)
+			st.Mappings = append(st.Mappings, MappingAudit{
+				Block:   b,
+				Pages:   bm.pages,
+				Threads: bm.threads,
+			})
 		}
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		bm := vm.mapped[b]
-		st.Mappings = append(st.Mappings, MappingAudit{
-			Block:   b,
-			Pages:   bm.pages,
-			Threads: bm.threads,
-		})
-	}
+		return true
+	})
 	return st
 }
 

@@ -71,8 +71,12 @@ type blockMapping struct {
 // tree of reverse DMA mappings. All methods return the virtual-time cost
 // of the operation; the caller (the UVM driver model) advances the clock.
 type VM struct {
-	cost    CostModel
-	mapped  map[mem.VABlockID]*blockMapping
+	cost CostModel
+	// mapped is the per-VABlock CPU-mapping directory — a sparse
+	// two-level structure rather than a map, for the same reason as the
+	// driver's block directory: CPUMappedPages sits on every block's
+	// service path and must stay an array probe at GB-scale VA spans.
+	mapped  mem.BlockDir[*blockMapping]
 	dma     RadixTree
 	dmaNext uint64
 	stats   Stats
@@ -81,7 +85,7 @@ type VM struct {
 
 // NewVM returns a host VM model using the given cost constants.
 func NewVM(cost CostModel) *VM {
-	return &VM{cost: cost, mapped: make(map[mem.VABlockID]*blockMapping)}
+	return &VM{cost: cost}
 }
 
 // Stats returns a copy of the accumulated host-OS statistics.
@@ -96,10 +100,10 @@ func (vm *VM) SetInjector(in *faultinject.Injector) { vm.inj = in }
 // unmap_mapping_range. This models application host-side initialization
 // (e.g. OpenMP-parallel data init in HPGMG).
 func (vm *VM) TouchCPU(block mem.VABlockID, pageIdx, thread int) {
-	bm := vm.mapped[block]
+	bm := vm.mapped.Lookup(block)
 	if bm == nil {
 		bm = &blockMapping{}
-		vm.mapped[block] = bm
+		vm.mapped.Set(block, bm)
 	}
 	bm.pages.Set(pageIdx)
 	bm.threads |= 1 << (uint(thread) & 63)
@@ -107,7 +111,7 @@ func (vm *VM) TouchCPU(block mem.VABlockID, pageIdx, thread int) {
 
 // CPUMappedPages returns how many pages of block hold live CPU mappings.
 func (vm *VM) CPUMappedPages(block mem.VABlockID) int {
-	if bm := vm.mapped[block]; bm != nil {
+	if bm := vm.mapped.Lookup(block); bm != nil {
 		return bm.pages.Count()
 	}
 	return 0
@@ -115,7 +119,7 @@ func (vm *VM) CPUMappedPages(block mem.VABlockID) int {
 
 // TouchingThreads returns how many distinct CPU threads touched block.
 func (vm *VM) TouchingThreads(block mem.VABlockID) int {
-	if bm := vm.mapped[block]; bm != nil {
+	if bm := vm.mapped.Lookup(block); bm != nil {
 		n := 0
 		for m := bm.threads; m != 0; m &= m - 1 {
 			n++
@@ -131,7 +135,7 @@ func (vm *VM) TouchingThreads(block mem.VABlockID) int {
 // a block with no live mappings costs nothing (the paper's Figure 13
 // "lower level": a block evicted and re-fetched pays no unmap).
 func (vm *VM) UnmapMappingRange(block mem.VABlockID) (cost sim.Time, unmapped int) {
-	bm := vm.mapped[block]
+	bm := vm.mapped.Lookup(block)
 	if bm == nil || !bm.pages.Any() {
 		return 0, 0
 	}

@@ -1,0 +1,139 @@
+package mem
+
+// blockdir.go — BlockDir, a sparse two-level directory keyed by
+// VABlockID. The driver and host-OS models used flat Go maps for their
+// per-VABlock state; at the paper's real evaluation scale (a 12 GB
+// working set is ~6k VABlocks, a multi-GB oversubscription sweep many
+// more) every hot-path residency probe paid a hash and the per-block
+// structures churned the map. BlockDir replaces that with an index
+// split: the low blockDirSegBits bits select a slot inside a fixed
+// 512-entry segment (1 GiB of VA), the high bits select the segment in
+// a top-level slice that grows to the highest segment touched and
+// stays nil everywhere else. Lookups are two array indexes; iteration
+// is naturally in ascending VABlockID order, which is exactly the
+// order the audit digests require.
+import "math/bits"
+
+type BlockDir[T any] struct {
+	segs []*blockDirSeg[T]
+	n    int
+}
+
+const (
+	// blockDirSegBits gives 512 blocks (1 GiB of virtual address
+	// space) per segment.
+	blockDirSegBits = 9
+	blockDirSegSize = 1 << blockDirSegBits
+	blockDirSegMask = blockDirSegSize - 1
+)
+
+type blockDirSeg[T any] struct {
+	used  [blockDirSegSize / 64]uint64
+	items [blockDirSegSize]T
+}
+
+// Len returns the number of populated entries.
+func (d *BlockDir[T]) Len() int { return d.n }
+
+// Lookup returns the entry for id, or T's zero value when absent — the
+// convenient form when T is a pointer type.
+func (d *BlockDir[T]) Lookup(id VABlockID) T {
+	si := int(id >> blockDirSegBits)
+	if si < 0 || si >= len(d.segs) {
+		var zero T
+		return zero
+	}
+	s := d.segs[si]
+	if s == nil {
+		var zero T
+		return zero
+	}
+	o := int(id) & blockDirSegMask
+	if s.used[o>>6]&(1<<(o&63)) == 0 {
+		var zero T
+		return zero
+	}
+	return s.items[o]
+}
+
+// Get returns the entry for id and whether it is populated.
+func (d *BlockDir[T]) Get(id VABlockID) (T, bool) {
+	si := int(id >> blockDirSegBits)
+	if si < 0 || si >= len(d.segs) {
+		var zero T
+		return zero, false
+	}
+	s := d.segs[si]
+	if s == nil {
+		var zero T
+		return zero, false
+	}
+	o := int(id) & blockDirSegMask
+	if s.used[o>>6]&(1<<(o&63)) == 0 {
+		var zero T
+		return zero, false
+	}
+	return s.items[o], true
+}
+
+// Set stores v as the entry for id, creating its segment on demand.
+func (d *BlockDir[T]) Set(id VABlockID, v T) {
+	si := int(id >> blockDirSegBits)
+	if si < 0 {
+		panic("mem: negative VABlockID in BlockDir")
+	}
+	for si >= len(d.segs) {
+		d.segs = append(d.segs, nil)
+	}
+	s := d.segs[si]
+	if s == nil {
+		s = &blockDirSeg[T]{}
+		d.segs[si] = s
+	}
+	o := int(id) & blockDirSegMask
+	if s.used[o>>6]&(1<<(o&63)) == 0 {
+		s.used[o>>6] |= 1 << (o & 63)
+		d.n++
+	}
+	s.items[o] = v
+}
+
+// Delete removes the entry for id, if present.
+func (d *BlockDir[T]) Delete(id VABlockID) {
+	si := int(id >> blockDirSegBits)
+	if si < 0 || si >= len(d.segs) {
+		return
+	}
+	s := d.segs[si]
+	if s == nil {
+		return
+	}
+	o := int(id) & blockDirSegMask
+	if s.used[o>>6]&(1<<(o&63)) == 0 {
+		return
+	}
+	s.used[o>>6] &^= 1 << (o & 63)
+	var zero T
+	s.items[o] = zero
+	d.n--
+}
+
+// Range calls fn for every populated entry in ascending VABlockID order,
+// stopping early if fn returns false. fn must not mutate the directory.
+func (d *BlockDir[T]) Range(fn func(id VABlockID, v T) bool) {
+	for si, s := range d.segs {
+		if s == nil {
+			continue
+		}
+		base := VABlockID(si << blockDirSegBits)
+		for wi, w := range s.used {
+			for w != 0 {
+				o := wi<<6 + bits.TrailingZeros64(w)
+				if !fn(base+VABlockID(o), s.items[o]) {
+					return
+				}
+				w &= w - 1
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockDirBasics(t *testing.T) {
+	var d BlockDir[int]
+	if d.Len() != 0 {
+		t.Fatalf("fresh Len = %d", d.Len())
+	}
+	if v := d.Lookup(7); v != 0 {
+		t.Fatalf("Lookup on empty = %d", v)
+	}
+	if _, ok := d.Get(7); ok {
+		t.Fatal("Get on empty reported present")
+	}
+
+	d.Set(7, 70)
+	d.Set(0, 1)
+	d.Set(7, 71) // overwrite must not bump Len
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if v := d.Lookup(7); v != 71 {
+		t.Fatalf("Lookup(7) = %d, want 71", v)
+	}
+
+	// Cross-segment IDs, including far-apart segments leaving nil gaps.
+	d.Set(blockDirSegSize-1, 2)
+	d.Set(blockDirSegSize, 3)
+	d.Set(100*blockDirSegSize+5, 4)
+	if v := d.Lookup(100*blockDirSegSize + 5); v != 4 {
+		t.Fatalf("far segment Lookup = %d", v)
+	}
+	// A present entry must not leak to its neighbours.
+	if _, ok := d.Get(100*blockDirSegSize + 4); ok {
+		t.Fatal("neighbour of far entry reported present")
+	}
+
+	d.Delete(7)
+	d.Delete(7) // double delete is a no-op
+	if _, ok := d.Get(7); ok {
+		t.Fatal("deleted entry still present")
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len after delete = %d, want 4", d.Len())
+	}
+}
+
+func TestBlockDirRangeAscending(t *testing.T) {
+	var d BlockDir[int]
+	rng := rand.New(rand.NewSource(42))
+	want := map[VABlockID]int{}
+	for i := 0; i < 500; i++ {
+		id := VABlockID(rng.Intn(10 * blockDirSegSize))
+		want[id] = i
+		d.Set(id, i)
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(want))
+	}
+	var prev VABlockID
+	n := 0
+	d.Range(func(id VABlockID, v int) bool {
+		if n > 0 && id <= prev {
+			t.Fatalf("Range out of order: %d after %d", id, prev)
+		}
+		if want[id] != v {
+			t.Fatalf("Range(%d) = %d, want %d", id, v, want[id])
+		}
+		prev = id
+		n++
+		return true
+	})
+	if n != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", n, len(want))
+	}
+
+	// Early stop.
+	n = 0
+	d.Range(func(VABlockID, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-stopped Range visited %d, want 3", n)
+	}
+}

@@ -1,0 +1,396 @@
+package sim
+
+// calqueue.go — the engine's event queue: a calendar queue (R. Brown,
+// CACM 1988) replacing the earlier container/heap binary heap. Events
+// hash into a ring of time buckets by their timestamp; push is an
+// append, pop consumes the head bucket and walks forward. With the
+// bucket width adapted to the observed event spacing, both operations
+// are O(1) amortized and touch contiguous memory, where the binary heap
+// paid O(log n) pointer-chasing sift operations on every dispatch.
+//
+// Ordering contract: PopMin returns events in strictly ascending
+// (at, seq) order — exactly the binary heap's comparator, so the FIFO
+// tie-break at equal timestamps (and therefore every digest golden) is
+// preserved bit for bit. The property test in calqueue_test.go and the
+// FuzzEventQueueOrder target run this queue side by side with a
+// container/heap reference on randomized schedule streams to prove it.
+//
+// Two engine-specific facts keep the structure simple:
+//
+//   - Timestamps never run backwards past the scan head: Engine.At
+//     clamps to now, and now only advances to popped event times. A
+//     push may still land behind the head when the head skipped over
+//     empty buckets, so Push rewinds the head to the event's bucket —
+//     a pure scan-position reset, never a correctness hazard.
+//   - The engine's traffic is burst-heavy: replay wakes and batch
+//     completions schedule hundreds of events for one instant. The
+//     head bucket is therefore consumed through a sorted run (see
+//     ready below) so a k-event burst costs one O(k log k) sort and k
+//     O(1) pops instead of k O(k) bucket rescans.
+
+import "slices"
+
+type calQueue struct {
+	// buckets is the ring; len is a power of two.
+	buckets [][]*event
+	mask    uint64 // len(buckets) - 1
+	shift   uint   // log2 of the bucket width in virtual nanoseconds
+	// cur is the scan head as an absolute bucket ordinal (time >> shift,
+	// monotonic except for Push rewinds); cur&mask indexes the ring.
+	// A ring slot holds events of every "year" that hashes to it; the
+	// head-bucket extraction admits only those whose ordinal equals cur.
+	cur  uint64
+	size int
+	// ready is the head bucket's current-year events, extracted and
+	// sorted the first time the scan head lands on the bucket, then
+	// consumed in order from readyPos. The entries are pointer-free
+	// (at, seq, slab index) keys, so sorting and insertion never incur
+	// GC write barriers and comparisons never chase a pointer; the
+	// events themselves sit in slab. A push into the head window inserts
+	// its key at the sorted position — for the dominant same-instant
+	// burst traffic that position is the end of the run, an O(1) append,
+	// because the new event carries the globally largest seq. readyOrd
+	// is the bucket ordinal ready serves; while readyOrd == cur the run
+	// is the sole authority for the window and the ring slot holds no
+	// cur-year events.
+	ready    []readyKey
+	readyPos int
+	slab     []*event
+	readyOrd uint64
+	// cnt is resize scratch (per-bucket occupancy counts), reused so
+	// redistribution costs a bounded number of allocations.
+	cnt []int
+}
+
+const (
+	calMinBuckets = 16
+	// calMaxShift bounds the bucket width at ~1 ms. One far-future
+	// outlier (e.g. a saturated overflow timestamp) must not widen the
+	// buckets until every near event collapses into one slot.
+	calMaxShift     = 20
+	calInitialShift = 10 // 1 µs buckets until the first resize measures real spacing
+)
+
+// readyNone marks the ready run as serving no bucket; every real
+// ordinal is at most 2^63 >> shift.
+const readyNone = ^uint64(0)
+
+func (q *calQueue) init() {
+	q.buckets = make([][]*event, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	q.shift = calInitialShift
+	q.readyOrd = readyNone
+}
+
+// less orders events by (at, seq) — the total dispatch order.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// readyKey is one ready-run entry: an event's ordering key plus its
+// slot in the slab. No pointers, so sorts and inserts are barrier-free.
+type readyKey struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+func keyLess(a, b readyKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func cmpReadyKey(a, b readyKey) int {
+	switch {
+	case keyLess(a, b):
+		return -1
+	case keyLess(b, a):
+		return 1
+	}
+	return 0
+}
+
+// Push inserts an event.
+func (q *calQueue) Push(ev *event) {
+	if q.buckets == nil {
+		q.init()
+	}
+	bn := uint64(ev.at) >> q.shift
+	if q.size == 0 {
+		q.cur = bn
+	} else if bn < q.cur {
+		// Rewind: the head had skipped past this bucket. The ready run
+		// (if any) belongs to a later bucket now, so its events go back
+		// to their ring slot.
+		q.flushReady()
+		q.cur = bn
+	}
+	q.size++
+	if bn == q.cur && q.readyOrd == q.cur {
+		// The head bucket is already extracted: the sorted run is the
+		// sole authority for this window.
+		q.insertReady(ev)
+		return
+	}
+	idx := bn & q.mask
+	q.buckets[idx] = append(q.buckets[idx], ev)
+	if q.size > 2*len(q.buckets) {
+		// Quadruple so redistributions stay rare: the ring reaches any
+		// population in log4 growth steps instead of log2.
+		q.resize(len(q.buckets) * 4)
+	}
+}
+
+// insertReady places an event into the active sorted run. The search
+// runs over the unconsumed tail only; same-instant burst pushes land at
+// the very end (their seq is the global maximum), making the memmove a
+// no-op.
+func (q *calQueue) insertReady(ev *event) {
+	q.slab = append(q.slab, ev)
+	k := readyKey{at: ev.at, seq: ev.seq, idx: int32(len(q.slab) - 1)}
+	lo, hi := q.readyPos, len(q.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyLess(q.ready[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.ready = append(q.ready, readyKey{})
+	copy(q.ready[lo+1:], q.ready[lo:])
+	q.ready[lo] = k
+	// Compact the consumed prefix occasionally so a long same-window
+	// push/pop chain cannot grow the run without bound.
+	if q.readyPos > 1024 && q.readyPos > len(q.ready)/2 {
+		n := copy(q.ready, q.ready[q.readyPos:])
+		q.ready = q.ready[:n]
+		q.readyPos = 0
+	}
+}
+
+// flushReady returns the ready run's unconsumed events to their ring
+// slot and invalidates the run. Order within a slot is irrelevant.
+func (q *calQueue) flushReady() {
+	if q.readyOrd == readyNone {
+		return
+	}
+	if q.readyPos < len(q.ready) {
+		idx := q.readyOrd & q.mask
+		for _, k := range q.ready[q.readyPos:] {
+			q.buckets[idx] = append(q.buckets[idx], q.slab[k.idx])
+		}
+	}
+	q.ready = q.ready[:0]
+	q.readyPos = 0
+	for i := range q.slab {
+		q.slab[i] = nil
+	}
+	q.slab = q.slab[:0]
+	q.readyOrd = readyNone
+}
+
+// PopMin removes and returns the minimum (at, seq) event, or nil when
+// the queue is empty.
+func (q *calQueue) PopMin() *event {
+	return q.popMin(false, 0)
+}
+
+// PopMinUntil removes and returns the minimum event if its timestamp is
+// <= deadline, or nil otherwise (the event stays queued). The scan
+// stops as soon as the head's window passes the deadline, so a distant
+// deadline miss costs a bounded walk instead of a full search.
+func (q *calQueue) PopMinUntil(deadline Time) *event {
+	return q.popMin(true, deadline)
+}
+
+func (q *calQueue) popMin(bounded bool, deadline Time) *event {
+	if q.size == 0 {
+		return nil
+	}
+	for scanned := 0; ; scanned++ {
+		if q.readyPos < len(q.ready) && q.readyOrd == q.cur {
+			// The run head is the global minimum: every event outside
+			// the run has a bucket ordinal >= cur and so a timestamp
+			// beyond this bucket's window.
+			k := q.ready[q.readyPos]
+			if bounded && k.at > deadline {
+				return nil
+			}
+			q.readyPos++
+			ev := q.slab[k.idx]
+			if q.readyPos == len(q.ready) {
+				// Window drained; recycle the run and slab storage.
+				q.ready = q.ready[:0]
+				q.readyPos = 0
+				q.slab = q.slab[:0]
+			}
+			q.size--
+			q.maybeShrink()
+			return ev
+		}
+		if bounded && q.cur<<q.shift > uint64(deadline) {
+			// Every remaining event sits at or beyond the head window,
+			// all past the deadline.
+			return nil
+		}
+		// Extract the head bucket's current-year events into the ready
+		// run; events of other "years" sharing the slot stay behind.
+		b := q.buckets[q.cur&q.mask]
+		kept := b[:0]
+		for _, ev := range b {
+			if uint64(ev.at)>>q.shift == q.cur {
+				q.slab = append(q.slab, ev)
+				q.ready = append(q.ready, readyKey{at: ev.at, seq: ev.seq, idx: int32(len(q.slab) - 1)})
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) < len(b) {
+			for i := len(kept); i < len(b); i++ {
+				b[i] = nil
+			}
+			q.buckets[q.cur&q.mask] = kept
+			slices.SortFunc(q.ready, cmpReadyKey)
+			q.readyPos = 0
+			q.readyOrd = q.cur
+			continue
+		}
+		if scanned >= len(q.buckets) {
+			// A full rotation found nothing: the next event is more
+			// than a whole ring ahead. Locate the global minimum
+			// directly and jump the head to it.
+			return q.popGlobalMin(bounded, deadline)
+		}
+		q.cur++
+	}
+}
+
+// maybeShrink shrinks the ring with hysteresis: only once it is 8x
+// oversized, and then down by 4x, so a population oscillating around a
+// threshold cannot thrash grow/shrink redistributions.
+func (q *calQueue) maybeShrink() {
+	if q.size < len(q.buckets)/8 && len(q.buckets) > calMinBuckets {
+		n := len(q.buckets) / 4
+		if n < calMinBuckets {
+			n = calMinBuckets
+		}
+		q.resize(n)
+	}
+}
+
+// popGlobalMin scans every bucket for the global minimum event — the
+// slow path taken only after a time jump larger than the whole ring.
+// The ready run is always empty here: popMin reaches this point only
+// after draining it and finding the head bucket empty.
+func (q *calQueue) popGlobalMin(bounded bool, deadline Time) *event {
+	bi, ei := -1, -1
+	var min *event
+	for i := range q.buckets {
+		for j, ev := range q.buckets[i] {
+			if min == nil || less(ev, min) {
+				min, bi, ei = ev, i, j
+			}
+		}
+	}
+	q.cur = uint64(min.at) >> q.shift
+	q.readyOrd = readyNone
+	if bounded && min.at > deadline {
+		return nil
+	}
+	return q.take(uint64(bi), ei)
+}
+
+// take removes bucket[idx][i] by swap-with-last — order within a bucket
+// is irrelevant before extraction.
+func (q *calQueue) take(idx uint64, i int) *event {
+	b := q.buckets[idx]
+	ev := b[i]
+	last := len(b) - 1
+	b[i] = b[last]
+	b[last] = nil
+	q.buckets[idx] = b[:last]
+	q.size--
+	q.maybeShrink()
+	return ev
+}
+
+// resize rebuilds the ring with n buckets (a power of two), re-adapting
+// the bucket width to the current event population: width ≈ the mean
+// gap between the earliest and latest queued events, so the steady
+// state carries about one event per bucket. Deterministic — it depends
+// only on the queued events, never on wall-clock state.
+func (q *calQueue) resize(n int) {
+	q.flushReady() // redistribute from the ring alone
+	old := q.buckets
+	if q.size > 1 {
+		var minAt, maxAt Time
+		first := true
+		for _, b := range old {
+			for _, ev := range b {
+				if first {
+					minAt, maxAt = ev.at, ev.at
+					first = false
+					continue
+				}
+				if ev.at < minAt {
+					minAt = ev.at
+				}
+				if ev.at > maxAt {
+					maxAt = ev.at
+				}
+			}
+		}
+		gap := (uint64(maxAt) - uint64(minAt)) / uint64(q.size)
+		shift := uint(0)
+		for shift < calMaxShift && 1<<(shift+1) <= gap {
+			shift++
+		}
+		q.shift = shift
+	}
+	q.mask = uint64(n) - 1
+	// Carve the new bucket slices out of one arena: count occupancy per
+	// new bucket, then hand each bucket an exact-capacity (plus small
+	// headroom) window. Rebuilding every bucket via bare append used to
+	// dominate the queue's allocation profile.
+	if cap(q.cnt) < n {
+		q.cnt = make([]int, n)
+	} else {
+		q.cnt = q.cnt[:n]
+		clear(q.cnt)
+	}
+	for _, b := range old {
+		for _, ev := range b {
+			q.cnt[(uint64(ev.at)>>q.shift)&q.mask]++
+		}
+	}
+	const pad = 4 // free slots per bucket before a post-resize push reallocates
+	arena := make([]*event, q.size+pad*n)
+	q.buckets = make([][]*event, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		c := q.cnt[i] + pad
+		q.buckets[i] = arena[off : off : off+c]
+		off += c
+	}
+	var minAt Time
+	first := true
+	for _, b := range old {
+		for _, ev := range b {
+			idx := (uint64(ev.at) >> q.shift) & q.mask
+			q.buckets[idx] = append(q.buckets[idx], ev)
+			if first || ev.at < minAt {
+				minAt = ev.at
+				first = false
+			}
+		}
+	}
+	if !first {
+		q.cur = uint64(minAt) >> q.shift
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// FuzzEventQueueOrder drives the calendar queue and the retired
+// binary-heap oracle in lockstep over a fuzzer-chosen stream of
+// (op, delay) records and fails on the first divergence in (at, seq)
+// pop order — the property the whole engine swap rests on, explored
+// beyond the fixed seeds of TestCalQueueMatchesHeapOrder.
+//
+// Input encoding: consecutive 3-byte records. Byte 0 selects the op
+// (odd = pop when non-empty, even = push) and the push's delay scale;
+// bytes 1-2 are a big-endian 16-bit raw delay. Scales cover zero-delay
+// ties, tight clusters, µs/ms jumps (bucket-width adaptation and
+// resize), and the MaxTime saturation region (direct-search fallback).
+func FuzzEventQueueOrder(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00})
+	f.Add([]byte{
+		0x02, 0x00, 0x07, // push +7
+		0x02, 0x00, 0x07, // push tie
+		0x01, 0x00, 0x00, // pop
+		0x06, 0x03, 0xe8, // push +1000µs
+		0x08, 0x00, 0x10, // push near-MaxTime
+		0x01, 0x00, 0x00, // pop
+	})
+	f.Add([]byte{
+		0x04, 0xff, 0xff, // push far (resize pressure)
+		0x00, 0x00, 0x00, // push tie at now
+		0x00, 0x00, 0x00,
+		0x01, 0x00, 0x00,
+		0x01, 0x00, 0x00,
+		0x01, 0x00, 0x00,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cq calQueue
+		var rh refHeap
+		var seq uint64
+		now := Time(0)
+		pop := func() {
+			want := heap.Pop(&rh).(*event)
+			got := cq.PopMin()
+			if got == nil {
+				t.Fatalf("calQueue empty, refHeap has (at=%d, seq=%d)", want.at, want.seq)
+			}
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("pop order diverged: calQueue (at=%d, seq=%d), refHeap (at=%d, seq=%d)",
+					got.at, got.seq, want.at, want.seq)
+			}
+			if got.at > now {
+				now = got.at
+			}
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i]
+			raw := Time(uint64(data[i+1])<<8 | uint64(data[i+2]))
+			if op&1 == 1 && rh.Len() > 0 {
+				pop()
+				continue
+			}
+			var d Time
+			switch (op >> 1) % 5 {
+			case 0:
+				d = 0
+			case 1:
+				d = raw
+			case 2:
+				d = raw * Microsecond
+			case 3:
+				d = raw * Millisecond
+			case 4:
+				d = MaxTime - now - raw // saturation region
+			}
+			at := now + d
+			if at < now {
+				at = now
+			}
+			seq++
+			cq.Push(&event{at: at, seq: seq})
+			heap.Push(&rh, &event{at: at, seq: seq})
+		}
+		for rh.Len() > 0 {
+			pop()
+		}
+		if cq.PopMin() != nil {
+			t.Fatal("calQueue non-empty after refHeap drained")
+		}
+	})
+}

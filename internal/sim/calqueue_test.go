@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the pre-calendar-queue binary heap, kept verbatim as the
+// ordering oracle: the calendar queue must pop in exactly this heap's
+// (at, seq) order on every schedule stream.
+type refHeap []*event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// drive pushes/pops both queues in lockstep and fails on the first
+// divergence in (at, seq) pop order. Interleaved pops exercise the scan
+// head's forward walk and rewind paths the way a live engine does.
+func drive(t *testing.T, rng *rand.Rand, ops int) {
+	t.Helper()
+	var cq calQueue
+	var rh refHeap
+	var seq uint64
+	now := Time(0)
+	push := func(at Time) {
+		if at < now {
+			at = now
+		}
+		seq++
+		cq.Push(&event{at: at, seq: seq})
+		heap.Push(&rh, &event{at: at, seq: seq})
+	}
+	pop := func() {
+		want := heap.Pop(&rh).(*event)
+		got := cq.PopMin()
+		if got == nil {
+			t.Fatalf("calQueue empty, refHeap has (at=%d, seq=%d)", want.at, want.seq)
+		}
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop order diverged: calQueue (at=%d, seq=%d), refHeap (at=%d, seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+		if got.at > now {
+			now = got.at
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if rh.Len() > 0 && rng.Intn(2) == 0 {
+			pop()
+			continue
+		}
+		// Delay mixture: zero-delay ties, tight clusters, millisecond
+		// jumps, and rare far-future outliers (resize + direct-search
+		// paths).
+		var d Time
+		switch rng.Intn(10) {
+		case 0:
+			d = 0
+		case 1, 2, 3, 4:
+			d = Time(rng.Intn(2000))
+		case 5, 6, 7:
+			d = Time(rng.Intn(int(Millisecond)))
+		case 8:
+			d = Time(rng.Intn(int(Second)))
+		default:
+			d = MaxTime - now - Time(rng.Intn(1000)) // saturation region
+		}
+		push(now + d)
+	}
+	for rh.Len() > 0 {
+		pop()
+	}
+	if cq.PopMin() != nil {
+		t.Fatal("calQueue non-empty after refHeap drained")
+	}
+}
+
+// TestCalQueueMatchesHeapOrder is the side-by-side property test: on
+// randomized schedule streams the calendar queue and the binary-heap
+// oracle must agree on every single pop.
+func TestCalQueueMatchesHeapOrder(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		drive(t, rng, 2000)
+	}
+}
+
+// TestCalQueueZeroDelayFIFO pins the tie-break contract in isolation:
+// events at one instant pop in scheduling order.
+func TestCalQueueZeroDelayFIFO(t *testing.T) {
+	var cq calQueue
+	const n = 100
+	for i := 1; i <= n; i++ {
+		cq.Push(&event{at: 42, seq: uint64(i)})
+	}
+	for i := 1; i <= n; i++ {
+		ev := cq.PopMin()
+		if ev == nil || ev.seq != uint64(i) {
+			t.Fatalf("tie-break broken at pop %d: got %+v", i, ev)
+		}
+	}
+}
+
+// TestCalQueuePopMinUntil checks the deadline-bounded pop: events past
+// the deadline stay queued and pop later in order.
+func TestCalQueuePopMinUntil(t *testing.T) {
+	var cq calQueue
+	times := []Time{5, 10, 10, 3 * Millisecond, MaxTime}
+	for i, at := range times {
+		cq.Push(&event{at: at, seq: uint64(i + 1)})
+	}
+	var got []Time
+	for {
+		ev := cq.PopMinUntil(Millisecond)
+		if ev == nil {
+			break
+		}
+		got = append(got, ev.at)
+	}
+	if len(got) != 3 || got[0] != 5 || got[1] != 10 || got[2] != 10 {
+		t.Fatalf("PopMinUntil(1ms) returned %v, want [5 10 10]", got)
+	}
+	if cq.size != 2 {
+		t.Fatalf("events past deadline must stay queued: size %d, want 2", cq.size)
+	}
+	if ev := cq.PopMin(); ev == nil || ev.at != 3*Millisecond {
+		t.Fatalf("post-deadline pop got %+v, want at=3ms", ev)
+	}
+	if ev := cq.PopMin(); ev == nil || ev.at != MaxTime {
+		t.Fatalf("final pop got %+v, want at=MaxTime", ev)
+	}
+}
+
+// TestScheduleOverflowSaturates is the regression test for the
+// time-overflow bug: now+delay wrapping negative used to clamp the
+// event to the present, firing a far-future event immediately. It must
+// saturate at MaxTime and stay pending past any finite deadline.
+func TestScheduleOverflowSaturates(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock at %d, want 10", e.Now())
+	}
+
+	fired := false
+	near := false
+	e.Schedule(MaxTime, func() { fired = true }) // now+MaxTime overflows
+	e.Schedule(Microsecond, func() { near = true })
+	if _, err := e.RunUntil(e.Now() + Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("overflowed far-future event fired within a 1s horizon")
+	}
+	if !near {
+		t.Fatal("near event did not fire")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("saturated event must stay pending: Pending() = %d", e.Pending())
+	}
+
+	// The saturated event still fires eventually, at the end of time.
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("saturated event never fired on an unbounded run")
+	}
+	if e.Now() != MaxTime {
+		t.Fatalf("clock at %d, want MaxTime", e.Now())
+	}
+	if MaxTime != Time(math.MaxInt64) {
+		t.Fatal("MaxTime must be the maximum Time")
+	}
+}
+
+// TestEventFreeListBounded is the regression test for the free-list
+// leak: after a run with a huge pending peak, the recycle list must not
+// retain more than maxFreeEvents structs.
+func TestEventFreeListBounded(t *testing.T) {
+	e := NewEngine()
+	const n = 8 * maxFreeEvents
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.Pending() != n {
+		t.Fatalf("Pending() = %d, want %d", e.Pending(), n)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.free) > maxFreeEvents {
+		t.Fatalf("free list holds %d events after the run, cap is %d", len(e.free), maxFreeEvents)
+	}
+}
+
+// TestScheduleArgOrdering checks that arg-carrying events share the
+// same (at, seq) ordering and panic isolation as closure events.
+func TestScheduleArgOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.ScheduleArg(5, func(v any) { order = append(order, v.(int)) }, 1)
+	e.Schedule(5, func() { order = append(order, 2) })
+	e.ScheduleArg(0, func(v any) { order = append(order, v.(int)) }, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("dispatch order %v, want [0 1 2]", order)
+	}
+
+	e2 := NewEngine()
+	e2.ScheduleArg(0, func(any) { panic("boom") }, nil)
+	if _, err := e2.Run(); err == nil {
+		t.Fatal("panic in arg callback must surface as the run error")
+	}
+}

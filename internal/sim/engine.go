@@ -5,8 +5,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"runtime/debug"
 )
 
@@ -19,6 +19,11 @@ const (
 	Microsecond Time = 1000
 	Millisecond Time = 1000 * 1000
 	Second      Time = 1000 * 1000 * 1000
+
+	// MaxTime is the end of virtual time. Schedule saturates here when
+	// now+delay would overflow, so a "practically never" delay stays in
+	// the far future instead of wrapping negative and firing at once.
+	MaxTime Time = math.MaxInt64
 )
 
 // Seconds converts a virtual time to floating-point seconds.
@@ -30,36 +35,29 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis converts a virtual time to floating-point milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
+// event is one scheduled callback: either a plain closure fn, or an
+// arg-carrying pair (afn, arg) — the allocation-free form hot paths use
+// so that scheduling needs no per-event closure.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// maxFreeEvents bounds the event free list across runs. Within a run
+// the list grows to the peak Pending() so steady-state scheduling
+// allocates nothing; it used to stay at that peak forever, pinning one
+// large job's worth of memory for the life of a long-running process
+// (e.g. sweepd). Run and RunUntil now decay it back to this bound on
+// exit, reallocating the backing array so the old peak is collectable.
+const maxFreeEvents = 1024
 
 // Engine is a discrete-event simulation executive. The zero value is ready
 // to use at virtual time zero.
 type Engine struct {
-	pq      eventHeap
+	q       calQueue
 	now     Time
 	seq     uint64
 	stopped bool
@@ -79,7 +77,7 @@ type Engine struct {
 	// this watchdog catches it long before MaxEvents would.
 	MaxStallEvents uint64
 	// free recycles dispatched event structs so steady-state scheduling
-	// allocates nothing. It grows to the peak number of pending events.
+	// allocates nothing. Bounded by maxFreeEvents.
 	free []*event
 	// OnEvent, when set, observes every dispatched event just before its
 	// callback runs. Observers must not schedule events or mutate model
@@ -94,24 +92,58 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.q.size }
 
 // Executed reports how many events have been dispatched so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Schedule enqueues fn to run after delay. A negative delay is treated as
 // zero: the event runs at the current instant, after events already queued
-// for that instant.
+// for that instant. A delay so large that now+delay overflows saturates
+// at MaxTime instead of wrapping.
 func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.deadline(delay), fn)
+}
+
+// ScheduleArg enqueues fn(arg) to run after delay, with the same delay
+// semantics as Schedule. Passing the argument through the event instead
+// of a closure lets hot paths schedule without allocating.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) {
+	e.AtArg(e.deadline(delay), fn, arg)
+}
+
+// deadline converts a relative delay to an absolute time, clamping
+// negative delays to zero and saturating overflow at MaxTime.
+func (e *Engine) deadline(delay Time) Time {
 	if delay < 0 {
 		delay = 0
 	}
-	e.At(e.now+delay, fn)
+	t := e.now + delay
+	if t < e.now { // signed overflow: now + delay wrapped
+		t = MaxTime
+	}
+	return t
 }
 
 // At enqueues fn to run at absolute virtual time t. Times in the past are
 // clamped to the present.
 func (e *Engine) At(t Time, fn func()) {
+	ev := e.newEvent(t)
+	ev.fn = fn
+	e.q.Push(ev)
+}
+
+// AtArg enqueues fn(arg) to run at absolute virtual time t, clamped like At.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	ev := e.newEvent(t)
+	ev.afn = fn
+	ev.arg = arg
+	e.q.Push(ev)
+}
+
+// newEvent takes an event struct from the free list (or allocates one)
+// and stamps it with the clamped time and the next sequence number.
+func (e *Engine) newEvent(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
@@ -121,18 +153,33 @@ func (e *Engine) At(t Time, fn func()) {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, e.seq, fn
 	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
+		ev = &event{}
 	}
-	heap.Push(&e.pq, ev)
+	ev.at, ev.seq = t, e.seq
+	return ev
 }
 
-// recycle returns a popped event to the free list. The callback reference
-// is dropped so recycled events never pin dead closures.
+// recycle returns a popped event to the free list. The callback and
+// argument references are dropped so recycled events never pin dead
+// closures.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	e.free = append(e.free, ev)
+}
+
+// trimFree decays the free list to maxFreeEvents at a run boundary,
+// moving the survivors to a right-sized backing array so the large
+// one — grown to the run's peak Pending() — becomes garbage.
+func (e *Engine) trimFree() {
+	if len(e.free) <= maxFreeEvents {
+		return
+	}
+	kept := make([]*event, maxFreeEvents)
+	copy(kept, e.free)
+	e.free = kept
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -165,7 +212,7 @@ func (e *Engine) dispatch(ev *event) bool {
 				Reason:   fmt.Sprintf("virtual clock stalled for %d consecutive events", e.stall),
 				At:       e.now,
 				Executed: e.executed,
-				Pending:  len(e.pq) + 1,
+				Pending:  e.q.size + 1,
 			})
 			return false
 		}
@@ -177,20 +224,20 @@ func (e *Engine) dispatch(ev *event) bool {
 			Reason:   fmt.Sprintf("MaxEvents (%d) exceeded", e.MaxEvents),
 			At:       e.now,
 			Executed: e.executed,
-			Pending:  len(e.pq) + 1,
+			Pending:  e.q.size + 1,
 		})
 		return false
 	}
 	if e.OnEvent != nil {
 		e.OnEvent(e.now)
 	}
-	e.runCallback(ev.fn)
+	e.runCallback(ev)
 	return true
 }
 
 // runCallback executes one event callback, converting a panic into the
 // run's terminal *CallbackPanicError instead of unwinding through Run.
-func (e *Engine) runCallback(fn func()) {
+func (e *Engine) runCallback(ev *event) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.Fail(&CallbackPanicError{
@@ -201,7 +248,11 @@ func (e *Engine) runCallback(fn func()) {
 			})
 		}
 	}()
-	fn()
+	if ev.afn != nil {
+		ev.afn(ev.arg)
+		return
+	}
+	ev.fn()
 }
 
 // Run dispatches events in timestamp order until the queue drains, Stop or
@@ -213,14 +264,18 @@ func (e *Engine) Run() (Time, error) {
 		return e.now, e.err
 	}
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped {
-		ev := heap.Pop(&e.pq).(*event)
+	for !e.stopped {
+		ev := e.q.PopMin()
+		if ev == nil {
+			break
+		}
 		ok := e.dispatch(ev)
 		e.recycle(ev)
 		if !ok {
 			break
 		}
 	}
+	e.trimFree()
 	return e.now, e.err
 }
 
@@ -234,14 +289,18 @@ func (e *Engine) RunUntil(deadline Time) (Time, error) {
 		return e.now, e.err
 	}
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped && e.pq[0].at <= deadline {
-		ev := heap.Pop(&e.pq).(*event)
+	for !e.stopped {
+		ev := e.q.PopMinUntil(deadline)
+		if ev == nil {
+			break
+		}
 		ok := e.dispatch(ev)
 		e.recycle(ev)
 		if !ok {
 			break
 		}
 	}
+	e.trimFree()
 	if e.err == nil && e.now < deadline {
 		e.now = deadline
 	}

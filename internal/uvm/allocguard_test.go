@@ -6,16 +6,17 @@ import (
 	"testing"
 )
 
-// TestBatchServiceAllocGuard pins the observability layer's inertness
-// contract from the hot-path side: with no batch observers attached (the
-// default), BenchmarkBatchService must allocate what the frozen PR-3
-// baseline measured. A regression here means instrumentation leaked into
-// the batch-service path.
+// TestBatchServiceAllocGuard pins the hot-path allocation diet: with no
+// batch observers attached (the default), BenchmarkBatchService must
+// allocate what the frozen PR-8 measurement recorded — the level after
+// the calendar-queue engine swap, the struct-of-arrays dedup stage, and
+// the pooled GPU event path. A regression here means map churn or
+// per-event allocation leaked back into the batch-service path.
 func TestBatchServiceAllocGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation guard runs the batch-service benchmark; skipped in -short")
 	}
-	raw, err := os.ReadFile("../../BENCH_pr3.json")
+	raw, err := os.ReadFile("../../BENCH_pr8.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestBatchServiceAllocGuard(t *testing.T) {
 	}
 	baseline := doc.Measured["BenchmarkBatchService"].AllocsPerOp
 	if baseline <= 0 {
-		t.Fatal("BENCH_pr3.json has no measured BenchmarkBatchService allocs_per_op")
+		t.Fatal("BENCH_pr8.json has no measured BenchmarkBatchService allocs_per_op")
 	}
 
 	res := testing.Benchmark(BenchmarkBatchService)
@@ -40,14 +41,12 @@ func TestBatchServiceAllocGuard(t *testing.T) {
 		t.Fatalf("disabled-observability allocs/op regressed: %.0f, baseline %.0f (+%.1f%%)",
 			got, baseline, 100*(got/baseline-1))
 	}
-	// The staged-pipeline refactor (PR 5) must not cost allocations: pin
-	// the post-refactor count to at most the frozen PR-3 absolute. The
-	// pooled per-batch/per-block contexts actually shave ~40 allocs/op
-	// (the BatchRecord no longer heap-escapes per batch), so this is an
-	// exact ceiling, not a headroom bound.
-	const pr3AbsolutePin = 39444
-	if got > pr3AbsolutePin {
-		t.Fatalf("staged pipeline allocs/op %.0f exceeds the frozen PR-3 pin %d", got, pr3AbsolutePin)
+	// Hard ceiling: the pre-diet PR-5 freeze. Drifting anywhere near it
+	// means the struct-of-arrays work has been undone wholesale, not
+	// jittered — fail regardless of what the PR-8 file says.
+	const pr5AbsolutePin = 39404
+	if got >= pr5AbsolutePin {
+		t.Fatalf("allocs/op %.0f reached the pre-diet PR-5 pin %d", got, pr5AbsolutePin)
 	}
-	t.Logf("allocs/op %.0f vs baseline %.0f (pin %d)", got, baseline, pr3AbsolutePin)
+	t.Logf("allocs/op %.0f vs baseline %.0f (absolute pin %d)", got, baseline, pr5AbsolutePin)
 }

@@ -2,7 +2,6 @@ package uvm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"guvm/internal/digest"
@@ -72,13 +71,10 @@ func (d *Driver) AuditState() AuditState {
 		Dead:           d.dead,
 		Stats:          d.stats,
 	}
-	ids := make([]mem.VABlockID, 0, len(d.blocks))
-	for id := range d.blocks {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		b := d.blocks[id]
+	st.Blocks = make([]BlockAudit, 0, d.blocks.Len())
+	// BlockDir ranges in ascending ID order — exactly the canonical
+	// order the former sorted-keys walk produced.
+	d.blocks.Range(func(_ mem.VABlockID, b *blockState) bool {
 		st.Blocks = append(st.Blocks, BlockAudit{
 			ID:        b.id,
 			Resident:  b.resident,
@@ -90,7 +86,8 @@ func (d *Driver) AuditState() AuditState {
 			AllocSeq:  b.allocSeq,
 			Evictions: b.evictions,
 		})
-	}
+		return true
+	})
 	for _, b := range d.allocated {
 		st.AllocatedOrder = append(st.AllocatedOrder, b.id)
 	}

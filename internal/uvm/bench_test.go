@@ -3,6 +3,7 @@ package uvm
 import (
 	"testing"
 
+	"guvm/internal/gpu"
 	"guvm/internal/mem"
 	"guvm/internal/trace"
 )
@@ -65,6 +66,50 @@ func BenchmarkBatchServiceObserved(b *testing.B) {
 		}
 		if observed == 0 {
 			b.Fatal("observer never ran")
+		}
+	}
+}
+
+// BenchmarkLargeWorkingSet stresses the block directories at the paper's
+// real evaluation scale: a 4 GB managed allocation (2048 VABlocks)
+// touched one page per block, so residency probes, eviction scans, and
+// audit walks traverse per-block state two orders of magnitude wider
+// than the 16 MB streaming benchmark. With map-backed block state this
+// working set paid a hash per probe and a sort per audit; the sparse
+// two-level directory keeps probes as array indexes and iteration
+// linear in populated segments.
+func BenchmarkLargeWorkingSet(b *testing.B) {
+	const blocks = 2048 // 4 GB of managed VA
+	const perSMBlock = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ucfg := noPrefetch()
+		ucfg.GPUMemBytes = (blocks + 8) * mem.VABlockSize
+		eng, drv, dev := newSystem(smallGPU(), ucfg)
+		base := drv.Alloc(blocks * mem.VABlockSize)
+		first := mem.PageOf(base)
+		k := gpu.Kernel{
+			NumBlocks: blocks / perSMBlock,
+			BlockProgram: func(bi int) []gpu.Program {
+				pages := make([]mem.PageID, perSMBlock)
+				for j := range pages {
+					pages[j] = first + mem.PageID((bi*perSMBlock+j)*mem.PagesPerVABlock)
+				}
+				return []gpu.Program{{gpu.Read(0, pages...)}}
+			},
+		}
+		done := false
+		if err := dev.LaunchKernel(k, func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("kernel never completed")
+		}
+		if got := drv.ResidentPages(); got != blocks {
+			b.Fatalf("resident pages = %d, want %d", got, blocks)
 		}
 	}
 }

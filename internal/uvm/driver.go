@@ -112,33 +112,30 @@ type allocSpan struct {
 // shared) at the start of each batch. Nothing in a batch record may alias
 // these buffers — everything retained by the trace.Collector is copied.
 //
-// Ownership across the stage pipeline: seen/uniq/nonStale/blockOrder/
-// rawPerBlock/rawBlocks are written by the dedup stage and read-only
-// afterwards; inThisBatch is written by dedup and the cross-block stage
-// and read by eviction; blockCosts accumulates across the service and
-// cross-block stages and is consumed by replay; pageIdx/migrate/spans
-// are the transfer step's staging and evictPages/evictSpans eviction's
-// (a separate pair because an eviction firing while a block's migration
-// list is being staged is impossible today, but the split keeps the
-// lifetimes trivially disjoint).
+// Ownership across the stage pipeline: keys/uniq/nonStale/blockOrder
+// are written by the dedup stage and read-only afterwards; inBatchExtra
+// is appended by the cross-block stage, and inBatch() (blockOrder plus
+// inBatchExtra) is read by eviction; blockCosts accumulates across the
+// service and cross-block stages and is consumed by replay;
+// pageIdx/migrate/spans are the transfer step's staging and
+// evictPages/evictSpans eviction's (a separate pair because an eviction
+// firing while a block's migration list is being staged is impossible
+// today, but the split keeps the lifetimes trivially disjoint).
 type batchScratch struct {
-	// seen maps each unique faulted page to the µTLB of its first fault,
-	// for duplicate classification (§4.2).
-	seen map[mem.PageID]int
-	// rawPerBlock counts raw (duplicate-inclusive) faults per VABlock.
-	rawPerBlock map[mem.VABlockID]int
-	// inThisBatch marks VABlocks being serviced by the current batch, so
-	// eviction avoids immediately re-faulting victims.
-	inThisBatch map[mem.VABlockID]bool
-	// uniq collects deduplicated pages; nonStale is uniq minus
-	// already-resident pages, sorted, so per-VABlock groups are
-	// contiguous runs and need no map.
+	// keys holds the dedup stage's packed (page, arrival) sort keys —
+	// the struct-of-arrays replacement for the old per-batch maps.
+	keys []uint64
+	// uniq collects deduplicated pages (ascending); nonStale is uniq
+	// minus already-resident pages, so per-VABlock groups are contiguous
+	// runs and need no map.
 	uniq     []mem.PageID
 	nonStale []mem.PageID
-	// blockOrder lists serviced VABlocks in ascending order.
-	blockOrder []mem.VABlockID
-	rawBlocks  []mem.VABlockID
-	blockCosts []sim.Time
+	// blockOrder lists serviced VABlocks in ascending order; it doubles
+	// as the eviction-avoidance set (inBatch), with inBatchExtra holding
+	// the blocks the cross-block stage adds after dedup.
+	blockOrder   []mem.VABlockID
+	inBatchExtra []mem.VABlockID
+	blockCosts   []sim.Time
 	// pageIdx/migrate/spans are the transfer step's migration staging;
 	// evictPages/evictSpans are evictOne's writeback staging.
 	pageIdx    []int
@@ -150,18 +147,11 @@ type batchScratch struct {
 
 // reset clears every buffer for a new batch, keeping capacity.
 func (sc *batchScratch) reset(faults int) {
-	if sc.seen == nil {
-		sc.seen = make(map[mem.PageID]int, faults)
-		sc.rawPerBlock = make(map[mem.VABlockID]int)
-		sc.inThisBatch = make(map[mem.VABlockID]bool)
-	}
-	clear(sc.seen)
-	clear(sc.rawPerBlock)
-	clear(sc.inThisBatch)
+	sc.keys = sc.keys[:0]
 	sc.uniq = sc.uniq[:0]
 	sc.nonStale = sc.nonStale[:0]
 	sc.blockOrder = sc.blockOrder[:0]
-	sc.rawBlocks = sc.rawBlocks[:0]
+	sc.inBatchExtra = sc.inBatchExtra[:0]
 	sc.blockCosts = sc.blockCosts[:0]
 }
 
@@ -175,7 +165,12 @@ type Driver struct {
 	dev  *gpu.Device
 	pmm  *gpumem.Allocator
 
-	blocks    map[mem.VABlockID]*blockState
+	// blocks is the per-VABlock state directory. A sparse two-level
+	// structure instead of a map: GB-scale working sets touch thousands
+	// of blocks and the residency probe is on the device's every memory
+	// access, so lookups must be array indexes, not hashes. Entries are
+	// *blockState, so d.allocated's pointers stay valid forever.
+	blocks    mem.BlockDir[*blockState]
 	allocated []*blockState // blocks holding GPU chunks, in alloc order
 	nextSeq   int
 
@@ -243,7 +238,6 @@ func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Li
 		vm:        vm,
 		link:      link,
 		pmm:       gpumem.New(cfg.GPUMemBytes),
-		blocks:    make(map[mem.VABlockID]*blockState),
 		nextAlloc: mem.VABlockSize, // keep address 0 unused
 		sleeping:  true,
 		effBatch:  cfg.BatchSize,
@@ -378,7 +372,7 @@ func (d *Driver) TouchHost(base mem.Addr, bytes uint64, threads int) {
 	n := int(mem.AlignUp(bytes, mem.PageSize) / mem.PageSize)
 	for i := 0; i < n; i++ {
 		p := first + mem.PageID(i)
-		b := d.blocks[p.VABlock()]
+		b := d.blocks.Lookup(p.VABlock())
 		if b != nil && b.resident.Has(p.IndexInBlock()) {
 			continue
 		}
@@ -401,10 +395,10 @@ func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) (sim.Time, error
 	first := mem.VABlockOf(base)
 	for i := 0; i < nblocks; i++ {
 		bid := first + mem.VABlockID(i)
-		b := d.blocks[bid]
+		b := d.blocks.Lookup(bid)
 		if b == nil {
 			b = &blockState{id: bid}
-			d.blocks[bid] = b
+			d.blocks.Set(bid, b)
 		}
 		if !b.hasChunk {
 			id, ok := d.pmm.Alloc(bid)
@@ -429,16 +423,17 @@ func (d *Driver) ExplicitCopyToGPU(base mem.Addr, bytes uint64) (sim.Time, error
 
 // IsResidentOnGPU implements gpu.ResidencyChecker.
 func (d *Driver) IsResidentOnGPU(p mem.PageID) bool {
-	b := d.blocks[p.VABlock()]
+	b := d.blocks.Lookup(p.VABlock())
 	return b != nil && b.resident.Has(p.IndexInBlock())
 }
 
 // ResidentPages returns the count of GPU-resident pages (diagnostics).
 func (d *Driver) ResidentPages() int {
 	n := 0
-	for _, b := range d.blocks {
+	d.blocks.Range(func(_ mem.VABlockID, b *blockState) bool {
 		n += b.resident.Count()
-	}
+		return true
+	})
 	return n
 }
 

@@ -71,7 +71,7 @@ func (crossBlockStage) run(d *Driver, bc *batchCtx) error {
 	}
 	sc := bc.sc
 	for _, bid := range sc.blockOrder {
-		b := d.blocks[bid]
+		b := d.blocks.Lookup(bid)
 		if b == nil || !b.resident.Full() {
 			continue
 		}
@@ -84,11 +84,11 @@ func (crossBlockStage) run(d *Driver, bc *batchCtx) error {
 			if next > sp.last {
 				break
 			}
-			nb := d.blocks[next]
+			nb := d.blocks.Lookup(next)
 			if nb != nil && nb.resident.Any() {
 				break // already (partially) resident: stop the run
 			}
-			if sc.inThisBatch[next] {
+			if sc.inBatch(next) {
 				break
 			}
 			c, err := d.runBlock(next, nil, true, bc)
@@ -96,7 +96,7 @@ func (crossBlockStage) run(d *Driver, bc *batchCtx) error {
 				return err
 			}
 			sc.blockCosts = append(sc.blockCosts, c)
-			sc.inThisBatch[next] = true
+			sc.inBatchExtra = append(sc.inBatchExtra, next)
 		}
 	}
 	return nil

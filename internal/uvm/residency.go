@@ -21,10 +21,10 @@ type residencyStep struct{}
 func (residencyStep) name() string { return "residency" }
 
 func (residencyStep) run(d *Driver, bc *batchCtx, blk *blockCtx) error {
-	b := d.blocks[blk.bid]
+	b := d.blocks.Lookup(blk.bid)
 	if b == nil {
 		b = &blockState{id: blk.bid}
-		d.blocks[blk.bid] = b
+		d.blocks.Set(blk.bid, b)
 	}
 	blk.b = b
 
@@ -90,7 +90,7 @@ func (d *Driver) evictOne(current mem.VABlockID, bc *batchCtx) (sim.Time, error)
 			if b.id == current {
 				continue
 			}
-			if avoidBatch && bc.sc.inThisBatch[b.id] {
+			if avoidBatch && bc.sc.inBatch(b.id) {
 				continue
 			}
 			candidates = append(candidates, i)

@@ -1,42 +1,62 @@
 #!/bin/sh
-# Hot-path microbenchmark harness. Runs the allocation-diet benchmarks —
+# Hot-path microbenchmark harness. Runs the hot-path benchmarks —
 # BenchmarkBatchService (the driver's whole fault-servicing pipeline,
 # internal/uvm), BenchmarkBatchServiceObserved (the same pipeline with a
-# batch observer attached, quantifying the observability hook's cost),
-# and BenchmarkEngineDispatch (the event loop, internal/sim) — with
-# -benchmem and writes a JSON report holding the measured ns/op, B/op and
-# allocs/op next to the frozen PR-3 numbers, so every PR from here on has
-# a performance trajectory to compare against (the PR5 acceptance bar is
-# that the staged-pipeline BenchmarkBatchService stays at or below the
-# frozen PR-3 allocs/op; TestBatchServiceAllocGuard enforces it).
+# batch observer attached), BenchmarkLargeWorkingSet (a 4 GB sparse
+# working set stressing the block directories), and
+# BenchmarkEngineDispatch (the calendar-queue event loop, internal/sim)
+# — with -benchmem and writes a JSON report holding the measured ns/op,
+# B/op and allocs/op next to the previous PR's frozen numbers.
 #
-# Usage: scripts/bench.sh [-quick] [-out BENCH_pr5.json]
+# The baseline is READ FROM THE FROZEN FILE, not hard-coded: a PR that
+# forgets to freeze its numbers breaks the next PR's bench run instead
+# of silently comparing against stale constants (which is how the
+# trajectory went dark between PR 5 and PR 8).
+#
+# Usage: scripts/bench.sh [-quick] [-out BENCH_pr8.json] [-baseline BENCH_pr5.json]
 #   -quick   CI smoke mode: one benchmark iteration each, just enough to
 #            prove the benchmarks run and the JSON pipeline works.
 set -eu
 
-out=BENCH_pr5.json
+out=BENCH_pr8.json
+baseline=BENCH_pr5.json
 benchtime=2s
 while [ $# -gt 0 ]; do
   case "$1" in
     -quick) benchtime=1x ;;
     -out) shift; out=$1 ;;
-    *) echo "usage: scripts/bench.sh [-quick] [-out FILE]" >&2; exit 2 ;;
+    -baseline) shift; baseline=$1 ;;
+    *) echo "usage: scripts/bench.sh [-quick] [-out FILE] [-baseline FILE]" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [ ! -f "$baseline" ]; then
+  echo "bench: baseline file $baseline not found" >&2
+  echo "bench: every bench run compares against the previous PR's frozen trajectory;" >&2
+  echo "bench: restore the frozen JSON or point -baseline at it" >&2
+  exit 1
+fi
+
+# Pull the baseline's measured section (the file is machine-written by
+# this script, so the two-space indentation is stable).
+base=$(sed -n '/^  "measured": {$/,/^  }$/p' "$baseline" | sed '1d;$d')
+if [ -z "$base" ]; then
+  echo "bench: no measured section found in $baseline; refusing to compare against nothing" >&2
+  exit 1
+fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkBatchService$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkBatchServiceObserved$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkLargeWorkingSet$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkEngineDispatch$' -benchmem -benchtime "$benchtime" ./internal/sim | tee -a "$raw"
 
 # Fold "BenchmarkName[-P] N ns/op B/op allocs/op" lines into JSON fields,
-# pairing them with the frozen PR-3 measurements (BENCH_pr3.json,
-# recorded with -benchtime 2s).
-awk -v quick="$benchtime" '
+# pairing them with the baseline measurements read above.
+awk -v quick="$benchtime" -v basefile="$baseline" -v base="$base" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -44,12 +64,9 @@ awk -v quick="$benchtime" '
     order[n++] = name
   }
   END {
-    baseline["BenchmarkBatchService"]   = "{\"ns_per_op\": 5634438, \"bytes_per_op\": 2221339, \"allocs_per_op\": 39444}"
-    baseline["BenchmarkEngineDispatch"] = "{\"ns_per_op\": 88.71, \"bytes_per_op\": 0, \"allocs_per_op\": 0}"
-    printf "{\n  \"pr\": 5,\n  \"benchtime\": \"%s\",\n", quick
-    printf "  \"baseline_pr3\": {\n"
-    printf "    \"BenchmarkBatchService\": %s,\n", baseline["BenchmarkBatchService"]
-    printf "    \"BenchmarkEngineDispatch\": %s\n  },\n", baseline["BenchmarkEngineDispatch"]
+    printf "{\n  \"pr\": 8,\n  \"benchtime\": \"%s\",\n", quick
+    printf "  \"baseline_file\": \"%s\",\n", basefile
+    printf "  \"baseline\": {\n%s\n  },\n", base
     printf "  \"measured\": {\n"
     for (i = 0; i < n; i++) {
       printf "    \"%s\": %s%s\n", order[i], measured[order[i]], (i < n-1 ? "," : "")
@@ -57,4 +74,4 @@ awk -v quick="$benchtime" '
     printf "  }\n}\n"
   }
 ' "$raw" > "$out"
-echo "wrote $out"
+echo "wrote $out (baseline: $baseline)"

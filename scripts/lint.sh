@@ -36,7 +36,35 @@ done
 grep -q 'var batchStages' internal/uvm/pipeline.go || fail "pipeline.go lost the batchStages stage graph"
 grep -q 'var blockSteps' internal/uvm/pipeline.go || fail "pipeline.go lost the blockSteps stage graph"
 
-# 4. CLIs select policies by registry name (SystemConfig.Policies), never
+# 4. Hot-path structural guards (PR 8). The calendar-queue engine swap
+#    and the struct-of-arrays batch stages are load-bearing perf work;
+#    these greps keep the two easiest regressions from creeping back in.
+#
+#    4a. No non-test file under the engine or driver hot paths may
+#    import container/heap — the binary heap survives only as the test
+#    oracle (internal/sim/calqueue_test.go, the fuzz target).
+for pkg in internal/sim internal/uvm; do
+  for f in "$pkg"/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    if grep -q '"container/heap"' "$f"; then
+      fail "$f imports container/heap; the heap is test-oracle-only since the calendar-queue swap"
+    fi
+  done
+done
+
+#    4b. The per-batch stage files must not allocate maps: the dedup
+#    rewrite replaced the per-batch map churn with sorted-key scans, and
+#    a map reappearing in a stage file means the allocation diet is
+#    regressing (TestBatchServiceAllocGuard would catch the count; this
+#    names the culprit).
+for f in internal/uvm/dedup.go internal/uvm/fetch.go internal/uvm/prefetchplan.go \
+         internal/uvm/residency.go internal/uvm/transfer.go internal/uvm/replay.go; do
+  if grep -qn 'make(map' "$f"; then
+    fail "$f allocates a map; batch stages are struct-of-arrays (see dedup.go's sort-scan)"
+  fi
+done
+
+# 5. CLIs select policies by registry name (SystemConfig.Policies), never
 #    by writing the eviction knob directly — direct writes bypass the
 #    unknown-name validation and the -list-policies contract.
 for cli in uvmsim uvmsweep faultviz paperfigs; do
