@@ -24,7 +24,8 @@ import (
 func main() {
 	prefetch := flag.Bool("prefetch", false, "run the prefetch-instruction kernel (Figure 5)")
 	auditOn := flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace of batch/phase spans to this file")
+	ofl := obs.RegisterFlags(flag.CommandLine)
+	pfl := obs.RegisterProfileFlags(flag.CommandLine)
 	evictPol := flag.String("evict", "", "eviction policy by registry name (default: the driver default)")
 	prefetchPol := flag.String("prefetch-policy", "", "prefetch policy by registry name (default: off, exposing raw fault mechanics)")
 	sizingPol := flag.String("batch-sizing", "", "batch-sizing policy by registry name (default: fixed)")
@@ -38,7 +39,8 @@ func main() {
 	cfg.KeepFaults = true
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = 1
-	cfg.Obs.Trace = *traceOut != ""
+	ofl.Apply(&cfg.Obs)
+	pfl.Apply(&cfg.Obs)
 	cfg.Policies = uvm.PolicySelection{
 		Eviction:    *evictPol,
 		Prefetch:    *prefetchPol,
@@ -61,6 +63,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
 		os.Exit(1)
+	}
+	if ofl.MetricsAddr != "" {
+		srv, err := obs.Serve(ofl.MetricsAddr, s.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving on %s\n", srv.Addr())
 	}
 	res, err := s.Run(w)
 	if err != nil {
@@ -104,17 +115,19 @@ func main() {
 		}
 	}
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	// s.Obs is nil unless some obs flag made the config Active; with it
+	// nil there are no artifacts to write.
+	if s.Obs != nil {
+		if pfl.Enabled() {
+			fmt.Printf("\nbatch-time breakdown (profiler)\n%s", s.Obs.Profiler.BreakdownTable())
+		}
+		if err := ofl.WriteArtifacts(s.Obs.Tracer, s.Obs.Sampler, fmt.Printf); err != nil {
 			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
 			os.Exit(1)
 		}
-		if err := obs.WriteChromeTrace(f, s.Obs.Tracer); err != nil {
+		if err := pfl.WriteArtifacts(s.Obs.Profiler, fmt.Printf); err != nil {
 			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
 			os.Exit(1)
 		}
-		f.Close()
-		fmt.Printf("wrote %d trace spans to %s\n", len(s.Obs.Tracer.Spans()), *traceOut)
 	}
 }

@@ -35,7 +35,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	verbose := flag.Bool("v", false, "print tables and notes to stdout")
-	traceOut := flag.String("trace-out", "", "write a wall-clock Chrome trace of the experiment harness (one lane per experiment) to this file")
+	// Shared obs flag set: -trace-out records the wall-clock harness trace
+	// (one lane per experiment); the metrics flags publish/sample harness
+	// progress.
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	evictPol := flag.String("evict", "", "override the eviction policy (registry name) in every experiment's base profile")
 	prefetchPol := flag.String("prefetch-policy", "", "override the prefetch policy (registry name) in every experiment's base profile")
 	sizingPol := flag.String("batch-sizing", "", "override the batch-sizing policy (registry name) in every experiment's base profile")
@@ -86,9 +89,35 @@ func main() {
 	// earlier one was still pending collection.
 	var harness *obs.Tracer
 	progStart := time.Now()
-	if *traceOut != "" {
+	if ofl.TraceOut != "" {
 		harness = obs.NewTracer()
 		harness.Lanes = map[int]string{}
+	}
+
+	// Opt-in harness progress metrics: counters advance only in the
+	// ordered collect callback, keyed by completed-experiment count, so
+	// the sampled series is deterministic at any -jobs value.
+	var prog *obs.Observer
+	doneCount := 0
+	if ofl.SamplingRequested() {
+		prog = obs.New(obs.Config{SampleInterval: ofl.SampleEvery()})
+		total := prog.Registry.Gauge("guvm_experiments_total", "Experiments in this run")
+		total.Set(float64(len(gens)))
+		prog.Registry.Func("guvm_experiments_done_total", "Experiments completed",
+			func() float64 { return float64(doneCount) })
+		prog.SetStatusFunc(func() any {
+			return map[string]any{"experiments": len(gens), "done": doneCount}
+		})
+		prog.Publish()
+		if ofl.MetricsAddr != "" {
+			srv, err := obs.Serve(ofl.MetricsAddr, prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Printf("metrics: serving on %s\n", srv.Addr())
+		}
 	}
 
 	var summary strings.Builder
@@ -104,6 +133,13 @@ func main() {
 			lane := r.Index + 1
 			harness.Lanes[lane] = r.Gen.ID
 			harness.Add(lane, "experiment", r.Gen.ID, start, end-start, r.Index)
+		}
+		doneCount++
+		if prog != nil {
+			if r.Index%prog.Sampler.Interval == 0 {
+				prog.Sampler.Sample(sim.Time(doneCount), r.Index)
+			}
+			prog.Publish()
 		}
 		if r.Err != nil {
 			// One broken experiment must not take down the sweep: record
@@ -136,18 +172,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("== summary notes: %s\n", notesFile)
-	if harness != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
-		}
-		if err := obs.WriteChromeTrace(f, harness); err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("== harness trace: %s (%d experiments)\n", *traceOut, len(harness.Spans()))
+	var sampler *obs.Sampler
+	if prog != nil {
+		sampler = prog.Sampler
+	}
+	if err := ofl.WriteArtifacts(harness, sampler, fmt.Printf); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d experiment(s) failed: %s\n",

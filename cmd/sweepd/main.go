@@ -56,6 +56,11 @@ func main() {
 		injFailLimit = flag.Int("inject-fail-limit", 0, "stop killing a point after this many attempts (0 = no limit)")
 		injSlowRate  = flag.Float64("inject-slow-rate", 0, "probability an attempt is delayed (chaos testing)")
 		injSlowDelay = flag.Duration("inject-slow-delay", 0, "delay applied to slowed attempts")
+		// Shared obs flag set: -trace-out records wall-clock job/point
+		// spans; the metrics flags sample the service registry at publish
+		// points. -metrics-addr serves a second, obs-only endpoint (the
+		// primary -addr always carries /metrics too).
+		ofl = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -90,7 +95,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweepd: recovered %d cached point(s) from %s\n", rec.Points, *storeDir)
 	}
 
-	o := obs.New(obs.Config{SampleInterval: 1})
+	// The registry always exists; the sampler and tracer only when their
+	// flags ask (a daemon's time series and span list grow unboundedly, so
+	// they stay opt-in).
+	var ocfg obs.Config
+	ofl.Apply(&ocfg)
+	o := obs.New(ocfg)
 	svc := sweepd.New(st, o, inj, sweepd.Config{
 		Workers:         *jobs,
 		QueueCap:        *queueCap,
@@ -102,11 +112,16 @@ func main() {
 		PointRetries:    *retries,
 		Seed:            *injSeed,
 	})
-	if n, errs := svc.Resume(rec.IncompleteJobs); n > 0 || len(errs) > 0 {
+	n, errs := svc.Resume(rec.IncompleteJobs)
+	if n > 0 || len(errs) > 0 {
 		fmt.Fprintf(os.Stderr, "sweepd: resumed %d incomplete job(s) from the journal\n", n)
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "sweepd: %v\n", e)
 		}
+	}
+	svc.NoteRecovery(rec, n)
+	if o.Tracer != nil {
+		svc.SetTracer(o.Tracer, time.Now())
 	}
 	svc.Start()
 
@@ -118,6 +133,15 @@ func main() {
 	// The harness (and humans with -addr :0) scrape the bound address
 	// from this line; keep its shape stable.
 	fmt.Fprintf(os.Stderr, "sweepd: serving on %s\n", srv.Addr())
+	if ofl.MetricsAddr != "" {
+		msrv, err := obs.Serve(ofl.MetricsAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving on %s\n", msrv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +159,14 @@ func main() {
 	}
 	if err := st.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepd: close store: %v\n", err)
+	}
+	// After the drain the runner is gone, so reading the tracer/sampler
+	// here no longer races it. Artifact tails go to stderr like the rest
+	// of the daemon's chatter.
+	if err := ofl.WriteArtifacts(o.Tracer, o.Sampler, func(format string, a ...any) (int, error) {
+		return fmt.Fprintf(os.Stderr, format, a...)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
 	}
 	if drainErr != nil {
 		fmt.Fprintf(os.Stderr, "sweepd: %v\n", drainErr)

@@ -117,15 +117,13 @@ func main() {
 		csvInject    = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
 		faultsOut    = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
 
-		// Observability (internal/obs): span tracing, metric sampling, and
-		// the opt-in live HTTP endpoint. All off by default.
-		traceOut        = flag.String("trace-out", "", "write a Chrome trace_event JSON of batch/phase spans to this file")
-		traceEngine     = flag.Bool("trace-engine", false, "also mark every engine dispatch in the trace (with -trace-out; capped)")
-		metricsCSV      = flag.String("metrics-csv", "", "write the sampled metric time series as CSV to this file")
-		metricsJSON     = flag.String("metrics-json", "", "write the sampled metric time series as JSON to this file")
-		metricsInterval = flag.Int("metrics-interval", 1, "sample metrics every Nth batch (with -metrics-csv/-metrics-json/-metrics-addr)")
-		metricsAddr     = flag.String("metrics-addr", "", "serve live /metrics, /status and pprof on this address (e.g. 127.0.0.1:9090; port 0 picks one)")
-		metricsHold     = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes")
+		// Observability (internal/obs): the shared flag set (-trace-out,
+		// -metrics-csv/-json/-interval, -metrics-addr) plus uvmsim-only
+		// extras. All off by default.
+		ofl         = obs.RegisterFlags(flag.CommandLine)
+		pfl         = obs.RegisterProfileFlags(flag.CommandLine)
+		traceEngine = flag.Bool("trace-engine", false, "also mark every engine dispatch in the trace (with -trace-out; capped)")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes")
 
 		// Deterministic fault injection (all rates default to 0 = off).
 		injSeed        = flag.Uint64("inject-seed", 1, "fault-injection RNG seed")
@@ -227,11 +225,9 @@ func main() {
 	}
 	cfg.Audit.Enabled = *auditOn
 	cfg.Audit.Interval = *auditInterval
-	cfg.Obs.Trace = *traceOut != ""
+	ofl.Apply(&cfg.Obs)
+	pfl.Apply(&cfg.Obs)
 	cfg.Obs.EngineEvents = *traceEngine
-	if *metricsCSV != "" || *metricsJSON != "" || *metricsAddr != "" {
-		cfg.Obs.SampleInterval = *metricsInterval
-	}
 
 	if *verifyDet {
 		if *explicit {
@@ -260,8 +256,8 @@ func main() {
 		os.Exit(2)
 	}
 	var metricsSrv *obs.Server
-	if *metricsAddr != "" {
-		metricsSrv, err = obs.Serve(*metricsAddr, s.Obs)
+	if ofl.MetricsAddr != "" {
+		metricsSrv, err = obs.Serve(ofl.MetricsAddr, s.Obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(2)
@@ -365,44 +361,20 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %d fault records to %s\n", len(res.Faults), *faultsOut)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	// s.Obs is nil unless some obs flag made the config Active; with it
+	// nil there are no artifacts to write.
+	if s.Obs != nil {
+		if pfl.Enabled() {
+			fmt.Printf("\nbatch-time breakdown (profiler)\n%s", s.Obs.Profiler.BreakdownTable())
+		}
+		if err := ofl.WriteArtifacts(s.Obs.Tracer, s.Obs.Sampler, fmt.Printf); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := obs.WriteChromeTrace(f, s.Obs.Tracer); err != nil {
+		if err := pfl.WriteArtifacts(s.Obs.Profiler, fmt.Printf); err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
 			os.Exit(1)
 		}
-		f.Close()
-		fmt.Printf("wrote %d trace spans to %s\n", len(s.Obs.Tracer.Spans()), *traceOut)
-	}
-	if *metricsCSV != "" {
-		f, err := os.Create(*metricsCSV)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := s.Obs.Sampler.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %d metric samples to %s\n", len(s.Obs.Sampler.Rows()), *metricsCSV)
-	}
-	if *metricsJSON != "" {
-		f, err := os.Create(*metricsJSON)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := s.Obs.Sampler.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %d metric samples to %s\n", len(s.Obs.Sampler.Rows()), *metricsJSON)
 	}
 
 	if *analyze && len(res.Batches) > 0 {

@@ -23,10 +23,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"guvm"
 	"guvm/internal/experiments"
 	"guvm/internal/obs"
+	"guvm/internal/sim"
 	"guvm/internal/uvm"
 	"guvm/internal/workloads"
 )
@@ -56,7 +58,9 @@ func main() {
 		sizings  = flag.String("batch-sizing", "fixed", "batch-sizing policies to sweep, by registry name")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
-		addr     = flag.String("metrics-addr", "", "serve live sweep progress (/metrics, /status, pprof) on this address")
+		// Shared obs flag set: -trace-out records one wall-clock span per
+		// grid point; the metrics flags publish/sample sweep progress.
+		ofl = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -123,36 +127,57 @@ func main() {
 		}
 	}
 
-	// Opt-in live progress endpoint. Counters advance only in the ordered
-	// collect callback (main goroutine), so publishing never races the
-	// worker pool and the CSV stays byte-identical at any -jobs value.
+	// Opt-in live progress endpoint and sampled progress series. Counters
+	// advance only in the ordered collect callback (main goroutine), so
+	// publishing never races the worker pool and the CSV stays
+	// byte-identical at any -jobs value. The sampled series is keyed by
+	// completed-point count (not wall time), so -metrics-csv/-metrics-json
+	// are deterministic too.
 	var prog *obs.Observer
 	done := 0
-	if *addr != "" {
-		prog = obs.New(obs.Config{SampleInterval: 1})
+	faults := 0
+	if ofl.SamplingRequested() {
+		prog = obs.New(obs.Config{SampleInterval: ofl.SampleEvery()})
 		total := prog.Registry.Gauge("guvm_sweep_points_total", "Grid points in this sweep")
 		total.Set(float64(len(grid)))
 		prog.Registry.Func("guvm_sweep_points_done_total", "Grid points completed",
 			func() float64 { return float64(done) })
+		prog.Registry.Func("guvm_sweep_faults_total", "Faults across completed grid points",
+			func() float64 { return float64(faults) })
 		prog.SetStatusFunc(func() any {
 			return map[string]any{"workload": *name, "points": len(grid), "done": done}
 		})
 		prog.Publish()
-		srv, err := obs.Serve(*addr, prog)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
-			os.Exit(2)
+		if ofl.MetricsAddr != "" {
+			srv, err := obs.Serve(ofl.MetricsAddr, prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "metrics: serving on %s\n", srv.Addr())
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: serving on %s\n", srv.Addr())
+	}
+	// Optional harness trace: one wall-clock span per grid point on a
+	// single lane, placed at [collection-elapsed, collection] relative to
+	// program start (approximate for points that finished while an earlier
+	// one was pending collection).
+	var harness *obs.Tracer
+	progStart := time.Now()
+	if ofl.TraceOut != "" {
+		harness = obs.NewTracer()
+		harness.Lanes = map[int]string{1: "sweep points"}
 	}
 
 	type outcome struct {
-		row string
-		err error
+		row     string
+		faults  int
+		elapsed time.Duration
+		err     error
 	}
 	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,batch_sizing,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
 	runErr := experiments.ForEachOrdered(ctx, len(grid), *jobs, func(i int) outcome {
+		pointStart := time.Now()
 		p := grid[i]
 		cfg := guvm.DefaultConfig()
 		cfg.Driver.BatchSize = p.bs
@@ -174,18 +199,47 @@ func main() {
 			len(res.Batches), res.DriverStats.TotalFaults,
 			res.DriverStats.Evictions,
 			float64(res.BytesMigrated())/(1<<20),
-			res.DriverStats.PrefetchedPages)}
-	}, func(_ int, o outcome) {
+			res.DriverStats.PrefetchedPages),
+			faults:  res.DriverStats.TotalFaults,
+			elapsed: time.Since(pointStart)}
+	}, func(i int, o outcome) {
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", o.err)
 			os.Exit(1)
 		}
 		fmt.Println(o.row)
 		done++
+		faults += o.faults
+		if harness != nil {
+			end := sim.Time(time.Since(progStart).Nanoseconds())
+			start := end - sim.Time(o.elapsed.Nanoseconds())
+			if start < 0 {
+				start = 0
+			}
+			p := grid[i]
+			harness.Add(1, "point", fmt.Sprintf("bs=%d cap=%d %s/%s/%s",
+				p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing),
+				start, end-start, i)
+		}
 		if prog != nil {
+			if i%prog.Sampler.Interval == 0 {
+				prog.Sampler.Sample(sim.Time(done), i)
+			}
 			prog.Publish()
 		}
 	})
+	// Artifact tails go to stderr: stdout is the sweep CSV.
+	logf := func(format string, a ...any) (int, error) {
+		return fmt.Fprintf(os.Stderr, format, a...)
+	}
+	var sampler *obs.Sampler
+	if prog != nil {
+		sampler = prog.Sampler
+	}
+	if err := ofl.WriteArtifacts(harness, sampler, logf); err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+		os.Exit(1)
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "uvmsweep: interrupted (%v): emitted %d of %d grid points\n",
 			runErr, done, len(grid))

@@ -261,6 +261,12 @@ func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 		s.Obs = obs.New(cfg.Obs)
 		s.Obs.SetBatchSetupCost(cfg.Driver.Costs.BatchSetup)
 		s.registerMetrics()
+		if s.Obs.Profiler != nil {
+			// The profiler hooks run inside the pipeline, before the
+			// batch observers — its metrics are current when OnBatch
+			// samples the registry.
+			drv.SetProfiler(s.Obs.Profiler)
+		}
 		drv.AddBatchObserver(s.Obs.OnBatch)
 		if cfg.Obs.Trace && cfg.Obs.EngineEvents {
 			eng.OnEvent = s.Obs.NoteEvent

@@ -67,6 +67,8 @@ func All() []Generator {
 		{"table4", "Batch and kernel times with and without prefetching", Table4},
 		{"fig16", "Gauss-Seidel case study (~16% oversubscription)", Fig16},
 		{"fig17", "HPGMG case study (~25% oversubscription)", Fig17},
+		// Profiler-measured batch-time attribution (not a paper figure).
+		{"breakdown", "Batch-time breakdown by pipeline stage (profiler)", Breakdown},
 		// Ablations of the §6 proposed improvements (not paper figures).
 		{"abl-parallel", "Ablation: parallel VABlock servicing", AblParallel},
 		{"abl-adaptive", "Ablation: duplicate-adaptive batch sizing", AblAdaptiveBatch},

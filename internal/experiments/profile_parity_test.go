@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"guvm"
+	"guvm/internal/workloads"
+)
+
+// renderProfile runs one profiled workload and serializes every profiler
+// CSV artifact (breakdown, lifecycle, batches, heat) into one string —
+// the byte stream `uvmsim -profile-dir` would write for that run.
+func renderProfile(t *testing.T, cfg guvm.SystemConfig, w workloads.Workload) string {
+	t.Helper()
+	cfg.Obs.Profile = true
+	s, err := guvm.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p := s.Obs.Profiler
+	for _, write := range []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return p.WriteBreakdownCSV(b) },
+		func(b *bytes.Buffer) error { return p.WriteLifecycleCSV(b) },
+		func(b *bytes.Buffer) error { return p.WriteBatchesCSV(b) },
+		func(b *bytes.Buffer) error { return p.WriteHeatCSV(b) },
+	} {
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestProfileArtifactsJobsInvariant pins that profiled simulations fanned
+// out on the worker pool produce byte-identical profile CSV artifacts at
+// -jobs 1 and -jobs 8: the profiler holds only per-simulation state, so
+// concurrency must not leak into any artifact.
+func TestProfileArtifactsJobsInvariant(t *testing.T) {
+	const n = 8
+	mk := func(i int) workloads.Workload {
+		if i%2 == 0 {
+			return workloads.NewVecAddPaper()
+		}
+		return workloads.NewStream(8<<20, 12)
+	}
+	render := func(jobs int) []string {
+		out := make([]string, n)
+		err := ForEachOrdered(nil, n, jobs, func(i int) string {
+			return renderProfile(t, baseConfig(), mk(i))
+		}, func(i int, s string) { out[i] = s })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, parallel := render(1), render(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("profile artifacts for run %d differ between -jobs 1 and -jobs 8", i)
+		}
+		if len(serial[i]) == 0 {
+			t.Fatalf("empty profile artifacts for run %d", i)
+		}
+	}
+}
+
+// TestBreakdownExperimentDeterministic pins that the breakdown generator
+// itself renders byte-identical tables across runs (it feeds paperfigs
+// artifacts that are diffed in CI).
+func TestBreakdownExperimentDeterministic(t *testing.T) {
+	render := func() string {
+		a, err := Breakdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tb := range a.Tables {
+			buf.WriteString(tb.CSV())
+		}
+		for _, n := range a.Notes {
+			fmt.Fprintln(&buf, n)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("two breakdown runs rendered different artifacts")
+	}
+	if a == "" {
+		t.Fatal("breakdown rendered nothing")
+	}
+}

@@ -470,13 +470,14 @@ func (d *Device) Killed() bool { return d.killed }
 func (d *Device) emitFault(page mem.PageID, w *warp, kind AccessKind, dup bool) {
 	de := d.newDeliverEv()
 	de.f = Fault{
-		Page:  page,
-		SM:    w.sm.id,
-		UTLB:  w.sm.utlb.id,
-		Warp:  w.id,
-		Block: w.block.index,
-		Kind:  kind,
-		Dup:   dup,
+		Issued: d.eng.Now(),
+		Page:   page,
+		SM:     w.sm.id,
+		UTLB:   w.sm.utlb.id,
+		Warp:   w.id,
+		Block:  w.block.index,
+		Kind:   kind,
+		Dup:    dup,
 	}
 	de.attempt = 0
 	d.eng.ScheduleArg(d.cfg.GMMULatency, deliverFn, de)

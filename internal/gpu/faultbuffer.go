@@ -9,13 +9,17 @@ import (
 // and the instrumented driver of the paper logs per fault (timestamp, SM of
 // origin, µTLB, page, access type).
 type Fault struct {
-	Time  sim.Time // arrival time in the fault buffer
-	Page  mem.PageID
-	SM    int
-	UTLB  int
-	Warp  int // global warp id
-	Block int // thread block index
-	Kind  AccessKind
+	Time sim.Time // arrival time in the fault buffer
+	// Issued is when the GMMU observed the faulting access — before the
+	// GMMU latency and any injected-drop re-deliveries that delay Time.
+	// The lifecycle profiler's "arrival" mark; never hashed by audits.
+	Issued sim.Time
+	Page   mem.PageID
+	SM     int
+	UTLB   int
+	Warp   int // global warp id
+	Block  int // thread block index
+	Kind   AccessKind
 	// Dup marks a hardware-visible duplicate: a fault written while the
 	// same page already had a pending entry in the same µTLB.
 	Dup bool

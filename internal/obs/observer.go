@@ -19,10 +19,15 @@ type Config struct {
 	// SampleInterval samples the metrics registry every N batches into
 	// the time series (0 disables sampling).
 	SampleInterval int
+	// Profile attaches the fault-lifecycle attribution profiler
+	// (profiler.go): per-stage latency histograms, batch critical paths,
+	// and per-VABlock heat accounting. Combines with Trace (block-step
+	// spans) and SampleInterval (stage totals in the time series).
+	Profile bool
 }
 
 // Active reports whether an observer should be attached at all.
-func (c Config) Active() bool { return c.Trace || c.SampleInterval > 0 }
+func (c Config) Active() bool { return c.Trace || c.SampleInterval > 0 || c.Profile }
 
 // Observer bundles one simulation's observability state: the span tracer,
 // the metrics registry, and the sim-time sampler. All observation happens
@@ -36,6 +41,9 @@ type Observer struct {
 	Tracer   *Tracer
 	Registry *Registry
 	Sampler  *Sampler
+	// Profiler is the fault-lifecycle attribution profiler (nil unless
+	// Config.Profile); guvm attaches it to the driver's profiler seam.
+	Profiler *Profiler
 
 	batchDur *Metric // histogram of batch durations in microseconds
 
@@ -53,6 +61,9 @@ func New(cfg Config) *Observer {
 	}
 	if cfg.SampleInterval > 0 {
 		o.Sampler = NewSampler(o.Registry, cfg.SampleInterval)
+	}
+	if cfg.Profile {
+		o.Profiler = NewProfiler(o.Tracer, o.Registry)
 	}
 	o.batchDur = o.Registry.Histogram("guvm_batch_duration_us",
 		"Fault-batch service duration in virtual microseconds",

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The profiler's breakdown CSVs embed formatValue(Quantile(...)) directly,
+// so every edge case here is a byte-determinism contract, not a numerics
+// nicety: an empty or single-observation histogram must render a stable
+// finite string, never "NaN".
+
+func newHist(t *testing.T) *Metric {
+	t.Helper()
+	r := NewRegistry()
+	return r.Histogram("test_hist", "test histogram", []float64{1, 5, 10, 100})
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	m := newHist(t)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := m.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s := formatValue(m.Quantile(0.5)); s != "0" {
+		t.Fatalf("empty histogram renders %q, want \"0\"", s)
+	}
+	if m.Min() != 0 || m.Max() != 0 || m.Sum() != 0 || m.Count() != 0 {
+		t.Fatal("empty histogram accessors must all report 0")
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	m := newHist(t)
+	m.Observe(7.25)
+	// A single observation is known exactly (it is the sum); every
+	// quantile must report it rather than a bucket bound.
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := m.Quantile(q); got != 7.25 {
+			t.Fatalf("single-observation Quantile(%v) = %v, want 7.25", q, got)
+		}
+	}
+	if s := formatValue(m.Quantile(0.5)); s != "7.25" {
+		t.Fatalf("single observation renders %q, want \"7.25\"", s)
+	}
+}
+
+func TestQuantileBucketResolution(t *testing.T) {
+	m := newHist(t)
+	// 4 observations in the <=1 bucket, 4 in <=10, 2 in the overflow.
+	for i := 0; i < 4; i++ {
+		m.Observe(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		m.Observe(8)
+	}
+	m.Observe(500)
+	m.Observe(900)
+	if got := m.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %v, want bucket bound 1", got)
+	}
+	if got := m.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want bucket bound 10", got)
+	}
+	// Rank in the +Inf overflow bucket resolves to the observed max so
+	// the estimate stays finite.
+	if got := m.Quantile(0.99); got != 900 {
+		t.Fatalf("p99 = %v, want observed max 900", got)
+	}
+	if got := m.Quantile(0); got != 0.5 {
+		t.Fatalf("q<=0 = %v, want observed min 0.5", got)
+	}
+	if got := m.Quantile(1); got != 900 {
+		t.Fatalf("q>=1 = %v, want observed max 900", got)
+	}
+}
+
+func TestQuantileClampsToObservedRange(t *testing.T) {
+	m := newHist(t)
+	// Both observations land in the <=100 bucket; its bound (100) far
+	// exceeds the observed max, and the estimate must clamp to it.
+	m.Observe(12)
+	m.Observe(13)
+	if got := m.Quantile(0.95); got != 13 {
+		t.Fatalf("p95 = %v, want clamped max 13", got)
+	}
+	if got := m.Quantile(0.01); got != 13 {
+		t.Fatalf("p01 = %v, want bucket estimate clamped to max 13", got)
+	}
+	if got := m.Quantile(0); got != 12 {
+		t.Fatalf("q<=0 = %v, want observed min 12", got)
+	}
+}
+
+func TestObserveIgnoresNaN(t *testing.T) {
+	m := newHist(t)
+	m.Observe(math.NaN())
+	if m.Count() != 0 {
+		t.Fatalf("NaN observation counted: count = %d", m.Count())
+	}
+	m.Observe(3)
+	m.Observe(math.NaN())
+	if m.Count() != 2-1 || math.IsNaN(m.Sum()) {
+		t.Fatalf("NaN poisoned the histogram: count %d sum %v", m.Count(), m.Sum())
+	}
+	if got := m.Quantile(0.5); got != 3 {
+		t.Fatalf("post-NaN quantile = %v, want 3", got)
+	}
+}
+
+func TestQuantileNilAndWrongKind(t *testing.T) {
+	var nilM *Metric
+	if nilM.Quantile(0.5) != 0 || nilM.Min() != 0 || nilM.Max() != 0 {
+		t.Fatal("nil metric must report 0")
+	}
+	r := NewRegistry()
+	c := r.Counter("test_counter", "")
+	if c.Quantile(0.5) != 0 {
+		t.Fatal("counter Quantile must report 0")
+	}
+}
+
+func TestHistogramExportNeverNaN(t *testing.T) {
+	r := NewRegistry()
+	m := r.Histogram("h", "help", []float64{1, 10})
+	m.Observe(math.NaN())
+	var buf writerBuf
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "NaN") {
+		t.Fatalf("exposition contains NaN:\n%s", string(buf))
+	}
+}

@@ -68,6 +68,8 @@ type Metric struct {
 	counts []uint64  // one per bound, plus implicit +Inf via total
 	total  uint64
 	sum    float64
+	min    float64
+	max    float64
 }
 
 // Name returns the metric's registered name.
@@ -94,10 +96,18 @@ func (m *Metric) Set(v float64) {
 
 // Observe records one histogram sample. Nil-safe. Simulation goroutine
 // only — histograms are not concurrency-safe by design (the sim thread is
-// the only writer, and rendering happens there too).
+// the only writer, and rendering happens there too). NaN observations are
+// dropped: one NaN would poison the running sum and turn every derived
+// export (sum, mean, quantiles) non-deterministic garbage.
 func (m *Metric) Observe(v float64) {
-	if m == nil || m.kind != KindHistogram {
+	if m == nil || m.kind != KindHistogram || math.IsNaN(v) {
 		return
+	}
+	if m.total == 0 || v < m.min {
+		m.min = v
+	}
+	if m.total == 0 || v > m.max {
+		m.max = v
 	}
 	m.total++
 	m.sum += v
@@ -107,6 +117,76 @@ func (m *Metric) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Count returns the histogram's observation count (0 on other kinds).
+func (m *Metric) Count() uint64 {
+	if m == nil || m.kind != KindHistogram {
+		return 0
+	}
+	return m.total
+}
+
+// Sum returns the histogram's observation sum (0 on other kinds).
+func (m *Metric) Sum() float64 {
+	if m == nil || m.kind != KindHistogram {
+		return 0
+	}
+	return m.sum
+}
+
+// Min returns the smallest observation (0 when empty).
+func (m *Metric) Min() float64 {
+	if m == nil || m.kind != KindHistogram || m.total == 0 {
+		return 0
+	}
+	return m.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (m *Metric) Max() float64 {
+	if m == nil || m.kind != KindHistogram || m.total == 0 {
+		return 0
+	}
+	return m.max
+}
+
+// Quantile returns a deterministic quantile estimate from the bucket
+// counts. The edge cases are pinned so derived CSV exports stay
+// byte-stable: an empty histogram reports 0 (never NaN), a
+// single-observation histogram reports that exact value, and q outside
+// (0,1) clamps to the observed min/max. Interior quantiles resolve to the
+// upper bound of the bucket holding the rank (the conventional
+// fixed-bucket estimate), with ranks landing in the +Inf overflow bucket
+// reporting the observed max so the estimate is always finite.
+func (m *Metric) Quantile(q float64) float64 {
+	if m == nil || m.kind != KindHistogram || m.total == 0 {
+		return 0
+	}
+	if m.total == 1 {
+		return m.sum
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return m.min
+	}
+	if q >= 1 {
+		return m.max
+	}
+	rank := uint64(math.Ceil(q * float64(m.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range m.bounds {
+		cum += m.counts[i]
+		if cum >= rank {
+			if b > m.max {
+				return m.max
+			}
+			return b
+		}
+	}
+	return m.max
 }
 
 // Value reads the metric's scalar value (histograms report their sample

@@ -22,6 +22,12 @@ const (
 	// LaneEngine holds per-event instant marks from the simulation engine
 	// (opt-in, capped).
 	LaneEngine = 5
+	// LaneBlocks holds the profiler's per-VABlock step decomposition of
+	// each batch's service window (opt-in: requires Trace and Profile).
+	// Step spans are laid out serially in pipeline order, so with
+	// ServiceWorkers > 1 the lane, like LaneDetail, can overflow the
+	// batch window — the work is real, just overlapped.
+	LaneBlocks = 6
 )
 
 // LaneNames maps lanes to the thread names written into the trace.
@@ -31,6 +37,7 @@ var LaneNames = map[int]string{
 	LaneDetail: "service detail",
 	LaneKernel: "kernels",
 	LaneEngine: "engine events",
+	LaneBlocks: "block steps",
 }
 
 // Span is one completed sim-time interval.

@@ -30,6 +30,7 @@ import (
 	"guvm/internal/experiments"
 	"guvm/internal/faultinject"
 	"guvm/internal/obs"
+	"guvm/internal/sim"
 	"guvm/internal/sweepd/store"
 )
 
@@ -203,17 +204,27 @@ type Service struct {
 	started  bool
 	nextID   int
 
-	mJobsAccepted *obs.Metric
-	mJobsShed     *obs.Metric
-	mJobsDone     *obs.Metric
-	mJobsFailed   *obs.Metric
-	mPointsSim    *obs.Metric
-	mPointsCached *obs.Metric
-	mPointsFailed *obs.Metric
-	mRetries      *obs.Metric
-	hQueueWait    *obs.Metric
-	hPointMS      *obs.Metric
-	hJobMS        *obs.Metric
+	mJobsAccepted  *obs.Metric
+	mJobsShed      *obs.Metric
+	mJobsDone      *obs.Metric
+	mJobsFailed    *obs.Metric
+	mPointsSim     *obs.Metric
+	mPointsCached  *obs.Metric
+	mPointsFailed  *obs.Metric
+	mRetries       *obs.Metric
+	mBreakerOpened *obs.Metric
+	mBreakerClosed *obs.Metric
+	hQueueWait     *obs.Metric
+	hPointMS       *obs.Metric
+	hJobMS         *obs.Metric
+
+	// Optional wall-clock tracer (SetTracer): job spans on lane 1, point
+	// spans on lane 2. Written only on the runner goroutine.
+	tr *obs.Tracer
+	t0 time.Time
+	// samples counts publish points for the observer's optional sampler
+	// (runner goroutine only).
+	samples int
 }
 
 // New wires a service over an opened result store. o hosts the service's
@@ -235,6 +246,7 @@ func New(st *store.Store, o *obs.Observer, inj *faultinject.ServiceInjector, cfg
 		rootCancel: cancel,
 		wake:       make(chan struct{}, 1),
 		jobs:       make(map[string]*Job),
+		t0:         time.Now(),
 	}
 	r := o.Registry
 	s.mJobsAccepted = r.Counter("sweepd_jobs_accepted_total", "Jobs admitted to the queue")
@@ -245,6 +257,8 @@ func New(st *store.Store, o *obs.Observer, inj *faultinject.ServiceInjector, cfg
 	s.mPointsCached = r.Counter("sweepd_points_cached_total", "Points answered from the result store")
 	s.mPointsFailed = r.Counter("sweepd_points_failed_total", "Points that exhausted every retry")
 	s.mRetries = r.Counter("sweepd_point_retries_total", "Point attempts retried after failure or timeout")
+	s.mBreakerOpened = r.Counter("sweepd_breaker_opened_total", "Circuit-breaker open transitions")
+	s.mBreakerClosed = r.Counter("sweepd_breaker_closed_total", "Circuit-breaker close transitions")
 	r.Func("sweepd_queue_depth", "Jobs admitted but not yet running", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -533,20 +547,62 @@ func (s *Service) wakeRunner() {
 
 // updateBreakerLocked moves the circuit breaker across its hysteresis
 // band: open at >= BreakerHigh outstanding points, closed again only at
-// <= BreakerLow, so admission does not flap around one threshold.
+// <= BreakerLow, so admission does not flap around one threshold. Each
+// transition bumps its counter, so a scrape distinguishes "opened once
+// under a burst" from "flapping" even when samples straddle the episode.
 func (s *Service) updateBreakerLocked() {
 	if !s.breaker && s.backlog >= s.cfg.BreakerHigh {
 		s.breaker = true
+		s.mBreakerOpened.Inc()
 	} else if s.breaker && s.backlog <= s.cfg.BreakerLow {
 		s.breaker = false
+		s.mBreakerClosed.Inc()
 	}
 }
 
-// publish refreshes the /metrics and /status snapshots. Only the runner
-// goroutine (and Start, before the runner exists) calls it: histograms
-// are not safe to read while another goroutine observes, so the service
-// keeps the registry's single-publisher discipline.
-func (s *Service) publish() { s.o.Publish() }
+// NoteRecovery exposes one restart's journal-recovery outcome as gauges
+// (recovered points, torn bytes dropped, incomplete jobs found, jobs
+// re-enqueued), so a scrape can tell a clean start from a crash
+// recovery. Call once, before Start.
+func (s *Service) NoteRecovery(rec *store.Recovery, resumed int) {
+	r := s.o.Registry
+	r.Gauge("sweepd_wal_recovered_points", "Cached points replayed from the journal at startup").
+		Set(float64(rec.Points))
+	r.Gauge("sweepd_wal_truncated_bytes", "Torn journal bytes dropped by recovery at startup").
+		Set(float64(rec.TruncatedBytes))
+	r.Gauge("sweepd_wal_incomplete_jobs", "Unfinished jobs found in the journal at startup").
+		Set(float64(len(rec.IncompleteJobs)))
+	r.Gauge("sweepd_jobs_resumed", "Incomplete jobs re-enqueued at startup").
+		Set(float64(resumed))
+}
+
+// SetTracer attaches a wall-clock tracer: one span per job on lane 1 and
+// one per collected point on lane 2, timed relative to t0. Must be
+// called before Start — the runner goroutine reads the tracer unlocked.
+func (s *Service) SetTracer(tr *obs.Tracer, t0 time.Time) {
+	s.tr = tr
+	s.t0 = t0
+	if tr != nil {
+		tr.Lanes = map[int]string{1: "jobs", 2: "points"}
+	}
+}
+
+// publish refreshes the /metrics and /status snapshots and, when the
+// observer carries a sampler, appends to the metric time series on the
+// sampler's interval (the series' time axis is wall-clock ns since
+// service start). Only the runner goroutine (and Start, before the
+// runner exists) calls it: histograms and the sampler are not safe to
+// read while another goroutine observes, so the service keeps the
+// registry's single-publisher discipline.
+func (s *Service) publish() {
+	s.o.Publish()
+	if sm := s.o.Sampler; sm != nil {
+		if s.samples%sm.Interval == 0 {
+			sm.Sample(sim.Time(time.Since(s.t0).Nanoseconds()), s.samples)
+		}
+		s.samples++
+	}
+}
 
 // run is the runner goroutine: jobs execute one at a time in admission
 // order (points within a job already saturate the worker pool).
@@ -630,6 +686,14 @@ func (s *Service) runJob(j *Job) {
 			s.mPointsSim.Inc()
 		}
 		s.hPointMS.Observe(o.elapsed.Seconds() * 1000)
+		if s.tr != nil {
+			end := sim.Time(time.Since(s.t0).Nanoseconds())
+			start := end - sim.Time(o.elapsed.Nanoseconds())
+			if start < 0 {
+				start = 0
+			}
+			s.tr.Add(2, "point", fmt.Sprintf("%s #%d", j.id, i), start, end-start, i)
+		}
 		s.publish()
 	})
 
@@ -675,6 +739,14 @@ func (s *Service) runJob(j *Job) {
 		s.mJobsFailed.Inc()
 	}
 	s.hJobMS.Observe(fin.Sub(j.started).Seconds() * 1000)
+	if s.tr != nil {
+		start := sim.Time(j.started.Sub(s.t0).Nanoseconds())
+		if start < 0 {
+			start = 0
+		}
+		s.tr.Add(1, "job", fmt.Sprintf("%s (%s)", j.id, state), start,
+			sim.Time(fin.Sub(j.started).Nanoseconds()), len(j.rows))
+	}
 	s.publish()
 }
 

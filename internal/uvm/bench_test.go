@@ -5,6 +5,7 @@ import (
 
 	"guvm/internal/gpu"
 	"guvm/internal/mem"
+	"guvm/internal/obs"
 	"guvm/internal/trace"
 )
 
@@ -66,6 +67,39 @@ func BenchmarkBatchServiceObserved(b *testing.B) {
 		}
 		if observed == 0 {
 			b.Fatal("observer never ran")
+		}
+	}
+}
+
+// BenchmarkBatchServiceProfiled is BenchmarkBatchService with the
+// fault-lifecycle profiler attached through the driver's profiler seam —
+// the full record path: lifecycle marks per fault, stage attribution per
+// batch, block-step accounting per VABlock, and heat updates per page.
+// The budget is ≤10% over BenchmarkBatchService; with the profiler
+// detached the pipeline pays only nil checks, which the allocation guard
+// pins.
+func BenchmarkBatchServiceProfiled(b *testing.B) {
+	const bytes = 16 << 20
+	nPages := int(bytes / mem.PageSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, drv, dev := newSystem(smallGPU(), noPrefetch())
+		prof := obs.NewProfiler(nil, obs.NewRegistry())
+		drv.SetProfiler(prof)
+		base := drv.Alloc(bytes)
+		k := streamKernel(base, nPages)
+		done := false
+		if err := dev.LaunchKernel(k, func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("kernel never completed")
+		}
+		if len(prof.Batches()) == 0 {
+			b.Fatal("profiler recorded no batches")
 		}
 	}
 }

@@ -2,6 +2,11 @@ package uvm
 
 // dedup.go — duplicate classification and VABlock grouping, the first
 // synchronous stage of the batch pipeline (§4.2).
+//
+// Profiler attribution: the whole stage is one serial charge
+// (rec.TDedup); the lifecycle profiler anchors its "deduped" mark at
+// pipeline entry + TDedup and treats stale-filtered faults as serviced
+// at that instant (no block ever runs for them).
 
 import (
 	"slices"

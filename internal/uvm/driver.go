@@ -213,6 +213,11 @@ type Driver struct {
 	// length check.
 	onBatch []func(id int, rec *trace.BatchRecord)
 
+	// prof, when set, receives stage-granularity pipeline events
+	// (profiler.go); nil by default so the hot path pays one pointer
+	// check per hook.
+	prof PipelineProfiler
+
 	// scratch/batch/block are the pooled per-batch working state of the
 	// stage pipeline; batches never overlap on one driver (inBatch
 	// guards), so reuse is safe. Stages own them only between

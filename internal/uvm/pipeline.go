@@ -109,6 +109,9 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	bc.total = 0
 	bc.sc = &d.scratch
 	bc.sc.reset(len(faults))
+	if d.prof != nil {
+		d.prof.BeginBatch(start, d.eng.Now(), faults)
+	}
 	for _, st := range batchStages {
 		if err := st.run(d, bc); err != nil {
 			d.fail(err)
@@ -154,11 +157,26 @@ func (d *Driver) runBlock(bid mem.VABlockID, pages []mem.PageID, eager bool, bc 
 	blk.toMigrate.Reset()
 	blk.cost = d.cfg.Costs.PerVABlock
 	bc.rec.TBlockMgmt += d.cfg.Costs.PerVABlock
-	for _, st := range blockSteps {
+	if d.prof == nil {
+		for _, st := range blockSteps {
+			if err := st.run(d, bc, blk); err != nil {
+				return blk.cost, err
+			}
+		}
+		return blk.cost, nil
+	}
+	// Profiled path: identical step sequence, but the per-step cost
+	// deltas are captured for attribution (the steps themselves only add
+	// to blk.cost, so before/after differencing is exact).
+	var steps [numBlockSteps]sim.Time
+	for i, st := range blockSteps {
+		before := blk.cost
 		if err := st.run(d, bc, blk); err != nil {
 			return blk.cost, err
 		}
+		steps[i] = blk.cost - before
 	}
+	d.prof.BlockServiced(bid, len(pages), eager, &steps, blk.cost)
 	return blk.cost, nil
 }
 

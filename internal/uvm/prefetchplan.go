@@ -4,6 +4,13 @@ package uvm
 // (which pages of the block migrate beyond the faulted ones, §5.2), the
 // registered PrefetchPlanner implementations, and the cross-block stage
 // (eager whole-block migration beyond the faulting VABlock, §6).
+//
+// Profiler attribution: planning itself is free in the cost model, so
+// the prefetch-plan slot of the step decomposition is structurally zero
+// today — the profiler keeps the slot so a future planner with a
+// modeled cost shows up without a seam change. Blocks the cross-block
+// stage migrates report BlockServiced with eager=true and zero faulted
+// pages.
 
 import "guvm/internal/mem"
 

@@ -1,0 +1,64 @@
+package uvm
+
+// profiler.go — the driver side of the fault-lifecycle attribution
+// profiler (the obs layer implements it; this file only defines the seam
+// so internal/uvm keeps its import layering: uvm must not import obs).
+//
+// The driver reports four kinds of events, all on the simulation
+// goroutine and all *after* the model state they describe is final:
+//
+//	FetchInstallment — one fault-buffer drain installment completed
+//	BeginBatch       — the batch entered the synchronous stage pipeline
+//	BlockServiced    — one VABlock finished the block-step pipeline,
+//	                   with its per-step cost decomposition
+//	EndBatch         — the batch record landed in the collector
+//
+// The zero-perturbation contract of the obs layer extends through this
+// seam: a profiler may only read the arguments during the call (the
+// fault slices are driver-owned scratch) and must not schedule events,
+// draw randomness, or mutate model state. With no profiler attached the
+// hot path pays one nil check per hook — the allocation guard and the
+// digest goldens pin that the disabled path is bit-identical.
+
+import (
+	"guvm/internal/gpu"
+	"guvm/internal/mem"
+	"guvm/internal/sim"
+	"guvm/internal/trace"
+)
+
+// PipelineProfiler observes the fault-servicing pipeline at stage
+// granularity. Implementations must not retain the slices or pointers
+// passed in — copy what outlives the call.
+type PipelineProfiler interface {
+	// FetchInstallment reports one buffer-drain installment: faults were
+	// read from the fault buffer and their MMIO read cost elapses at
+	// done. Called once per installment, in batch order.
+	FetchInstallment(done sim.Time, faults []gpu.Fault)
+	// BeginBatch reports the batch entering the synchronous stage
+	// pipeline: start is when the batch opened (before the fixed setup
+	// cost), entered is the engine clock at pipeline entry
+	// (start + BatchSetup + TFetch).
+	BeginBatch(start, entered sim.Time, faults []gpu.Fault)
+	// BlockServiced reports one VABlock completing the block-step
+	// pipeline. steps holds the per-step virtual-time costs in blockSteps
+	// order (residency, prefetch-plan, populate, transfer); total is the
+	// block's full cost including the fixed per-VABlock management
+	// charge. pages counts the faulted pages serviced (0 for an eager
+	// cross-block migration); eager marks cross-block whole-block
+	// migrations.
+	BlockServiced(bid mem.VABlockID, pages int, eager bool, steps *[numBlockSteps]sim.Time, total sim.Time)
+	// EndBatch reports the batch record landing in the collector, before
+	// the batch observers run — profiler-derived metrics are current by
+	// the time the obs sampler reads the registry.
+	EndBatch(id int, rec *trace.BatchRecord)
+}
+
+// numBlockSteps is the length of the blockSteps pipeline; the profiler's
+// step-cost array is sized by it so the seam cannot drift from the graph.
+const numBlockSteps = 4
+
+// SetProfiler attaches a pipeline profiler to the batch-servicing hot
+// path. Call before Run; a nil profiler (the default) keeps every hook a
+// single pointer check.
+func (d *Driver) SetProfiler(p PipelineProfiler) { d.prof = p }

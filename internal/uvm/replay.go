@@ -38,6 +38,11 @@ func (replayStage) run(d *Driver, bc *batchCtx) error {
 		if d.arbiter != nil {
 			d.arbiter.Release()
 		}
+		if d.prof != nil {
+			// Before the observers: profiler-derived metrics must be
+			// current when the obs sampler reads the registry.
+			d.prof.EndBatch(id, &d.Collector.Batches[id])
+		}
 		for _, fn := range d.onBatch {
 			fn(id, &d.Collector.Batches[id])
 		}

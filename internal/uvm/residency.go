@@ -3,6 +3,12 @@ package uvm
 // residency.go — the residency block step (backing-chunk allocation with
 // eviction under pressure, first-touch DMA mapping, CPU unmapping) and
 // the registered eviction strategies (§5.1, §5.4, §4.4).
+//
+// Profiler attribution: everything this step adds to blk.cost — chunk
+// allocation, evictions it forces (evictOne's writeback), DMA map and
+// CPU unmap — lands in the residency slot of the per-block step
+// decomposition; the batch-level stage table still splits the same cost
+// into dma_map/unmap/evict via the record's phase timers.
 
 import (
 	"fmt"

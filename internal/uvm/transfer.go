@@ -3,6 +3,11 @@ package uvm
 // transfer.go — the populate and transfer block steps: first-touch page
 // population (§5.1), span coalescing, the link transfer, and GPU
 // page-table updates, including the injected-failure retry paths.
+//
+// Profiler attribution: the populate step's cost (including injected
+// host-allocation recovery) fills the populate slot of the per-block
+// step decomposition; the transfer step's — link transfer, retries,
+// page-table update — fills the transfer slot.
 
 import (
 	"errors"

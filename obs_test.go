@@ -3,6 +3,7 @@ package guvm
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -13,7 +14,7 @@ import (
 	"guvm/internal/workloads"
 )
 
-var updateObsGolden = flag.Bool("update-obs-golden", false, "rewrite testdata/vecadd_trace.golden.json from the current build")
+var updateObsGolden = flag.Bool("update-obs-golden", false, "rewrite the testdata obs goldens (vecadd trace JSON, vecadd breakdown CSV) from the current build")
 
 // obsTestConfig is the audited vecadd configuration shared by the
 // observability tests and the golden trace; it matches uvmsim's defaults
@@ -46,7 +47,7 @@ func runVecAdd(t *testing.T, cfg SystemConfig) (*Simulator, *Result) {
 func TestObsDigestsUnchanged(t *testing.T) {
 	off := obsTestConfig()
 	on := obsTestConfig()
-	on.Obs = obs.Config{Trace: true, EngineEvents: true, SampleInterval: 1}
+	on.Obs = obs.Config{Trace: true, EngineEvents: true, SampleInterval: 1, Profile: true}
 
 	_, resOff := runVecAdd(t, off)
 	_, resOn := runVecAdd(t, on)
@@ -139,6 +140,71 @@ func TestObsGoldenTrace(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("trace diverges from %s (%d bytes got, %d want); regenerate with -update-obs-golden if the change is intended",
 			golden, buf.Len(), len(want))
+	}
+}
+
+// TestObsGoldenBreakdown pins the profiler's batch-time breakdown CSV for
+// the audited vecadd run byte-for-byte — the same bytes `uvmsim -workload
+// vecadd -audit -profile-dir DIR` writes to DIR/breakdown.csv, so CI can
+// cross-check the golden through the CLI. Regenerate with:
+//
+//	go test -run TestObsGoldenBreakdown -update-obs-golden
+func TestObsGoldenBreakdown(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs.Profile = true
+	s, _ := runVecAdd(t, cfg)
+
+	var buf bytes.Buffer
+	if err := s.Obs.Profiler.WriteBreakdownCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "vecadd_breakdown.golden.csv")
+	if *updateObsGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-obs-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("breakdown diverges from %s:\ngot:\n%swant:\n%s(regenerate with -update-obs-golden if the change is intended)",
+			golden, buf.String(), want)
+	}
+}
+
+// TestObsProfilerLifecycleCoversFaults checks the profiler's basic
+// accounting on a real run: every raw fault is tracked through all six
+// lifecycle transitions, and the per-batch profiles cover every batch.
+func TestObsProfilerLifecycleCoversFaults(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs.Profile = true
+	s, res := runVecAdd(t, cfg)
+	p := s.Obs.Profiler
+
+	var buf bytes.Buffer
+	if err := p.WriteLifecycleCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := res.DriverStats.TotalFaults
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		if i == 0 {
+			continue // header
+		}
+		fields := bytes.Split(line, []byte(","))
+		if string(fields[1]) != fmt.Sprint(want) {
+			t.Errorf("lifecycle stage %s tracked %s faults, want %d", fields[0], fields[1], want)
+		}
+	}
+	if got := len(p.Batches()); got != len(res.Batches) {
+		t.Fatalf("profiler recorded %d batch profiles, want %d", got, len(res.Batches))
 	}
 }
 

@@ -2,7 +2,9 @@
 # Hot-path microbenchmark harness. Runs the hot-path benchmarks —
 # BenchmarkBatchService (the driver's whole fault-servicing pipeline,
 # internal/uvm), BenchmarkBatchServiceObserved (the same pipeline with a
-# batch observer attached), BenchmarkLargeWorkingSet (a 4 GB sparse
+# batch observer attached), BenchmarkBatchServiceProfiled (with the
+# fault-lifecycle profiler's full record path attached; budget ≤10% over
+# the base pipeline), BenchmarkLargeWorkingSet (a 4 GB sparse
 # working set stressing the block directories), and
 # BenchmarkEngineDispatch (the calendar-queue event loop, internal/sim)
 # — with -benchmem and writes a JSON report holding the measured ns/op,
@@ -13,13 +15,13 @@
 # of silently comparing against stale constants (which is how the
 # trajectory went dark between PR 5 and PR 8).
 #
-# Usage: scripts/bench.sh [-quick] [-out BENCH_pr8.json] [-baseline BENCH_pr5.json]
+# Usage: scripts/bench.sh [-quick] [-out BENCH_pr9.json] [-baseline BENCH_pr8.json]
 #   -quick   CI smoke mode: one benchmark iteration each, just enough to
 #            prove the benchmarks run and the JSON pipeline works.
 set -eu
 
-out=BENCH_pr8.json
-baseline=BENCH_pr5.json
+out=BENCH_pr9.json
+baseline=BENCH_pr8.json
 benchtime=2s
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -51,6 +53,7 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkBatchService$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkBatchServiceObserved$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkBatchServiceProfiled$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkLargeWorkingSet$' -benchmem -benchtime "$benchtime" ./internal/uvm | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkEngineDispatch$' -benchmem -benchtime "$benchtime" ./internal/sim | tee -a "$raw"
 
@@ -64,7 +67,7 @@ awk -v quick="$benchtime" -v basefile="$baseline" -v base="$base" '
     order[n++] = name
   }
   END {
-    printf "{\n  \"pr\": 8,\n  \"benchtime\": \"%s\",\n", quick
+    printf "{\n  \"pr\": 9,\n  \"benchtime\": \"%s\",\n", quick
     printf "  \"baseline_file\": \"%s\",\n", basefile
     printf "  \"baseline\": {\n%s\n  },\n", base
     printf "  \"measured\": {\n"

@@ -33,6 +33,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/uvmsim -workload vecadd -audit -trace-out "$tmpdir/trace.json" > /dev/null
 cmp testdata/vecadd_trace.golden.json "$tmpdir/trace.json"
 
+# Profiler gate: the same audited vecadd run with the fault-lifecycle
+# profiler attached must write the golden batch-time breakdown CSV
+# byte-for-byte (proving both the attribution math and that profiling
+# did not perturb the batch schedule the breakdown is derived from).
+go run ./cmd/uvmsim -workload vecadd -audit -profile-dir "$tmpdir/prof" > /dev/null
+cmp testdata/vecadd_breakdown.golden.csv "$tmpdir/prof/breakdown.csv"
+
 go build -o "$tmpdir/uvmsim" ./cmd/uvmsim
 "$tmpdir/uvmsim" -workload stream -mb 16 -metrics-addr 127.0.0.1:0 -metrics-hold 20s \
   > "$tmpdir/uvmsim.log" 2>&1 &

@@ -64,7 +64,24 @@ for f in internal/uvm/dedup.go internal/uvm/fetch.go internal/uvm/prefetchplan.g
   fi
 done
 
-# 5. CLIs select policies by registry name (SystemConfig.Policies), never
+# 5. Profiler hot-path guards (PR 9). The profiler's record path runs
+#    inside the batch pipeline on every fault/batch; it must stay on the
+#    allocation diet (no map allocation — heat lives in a BlockDir) and
+#    in virtual time (no wall-clock reads in sim-time attribution).
+if grep -qn 'make(map' internal/obs/profiler.go; then
+  fail "internal/obs/profiler.go allocates a map; the record path is map-free (BlockDir + pooled slices)"
+fi
+if grep -qn 'time\.Now' internal/obs/profiler.go; then
+  fail "internal/obs/profiler.go reads wall-clock time; attribution is sim-time only"
+fi
+for f in internal/uvm/*.go; do
+  case "$f" in *_test.go) continue ;; esac
+  if grep -qn 'time\.Now' "$f"; then
+    fail "$f reads wall-clock time inside the sim-time driver"
+  fi
+done
+
+# 6. CLIs select policies by registry name (SystemConfig.Policies), never
 #    by writing the eviction knob directly — direct writes bypass the
 #    unknown-name validation and the -list-policies contract.
 for cli in uvmsim uvmsweep faultviz paperfigs; do
