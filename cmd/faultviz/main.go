@@ -26,12 +26,17 @@ func main() {
 	auditOn := flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	pfl := obs.RegisterProfileFlags(flag.CommandLine)
-	evictPol := flag.String("evict", "", "eviction policy by registry name (default: the driver default)")
-	prefetchPol := flag.String("prefetch-policy", "", "prefetch policy by registry name (default: off, exposing raw fault mechanics)")
-	sizingPol := flag.String("batch-sizing", "", "batch-sizing policy by registry name (default: fixed)")
+	// Shared policy flag block (-evict/-prefetch-policy/-batch-sizing/
+	// -arch/-list-policies); empty selections keep faultviz's raw-fault
+	// defaults below.
+	pol := uvm.RegisterPolicyFlags(flag.CommandLine)
 	hwFault := flag.Bool("hw-fault", false, "enable the hardware fault domain (degraded/flapping link epochs at default rates)")
 	hwKill := flag.Int("hw-kill-batch", 0, "kill the device after it completes this many fault batches (1-based; 0 disables)")
 	flag.Parse()
+
+	if pol.HandleList(os.Stdout) {
+		return
+	}
 
 	cfg := guvm.DefaultConfig()
 	cfg.Driver.PrefetchEnabled = false // expose raw fault mechanics
@@ -41,11 +46,7 @@ func main() {
 	cfg.Audit.Interval = 1
 	ofl.Apply(&cfg.Obs)
 	pfl.Apply(&cfg.Obs)
-	cfg.Policies = uvm.PolicySelection{
-		Eviction:    *evictPol,
-		Prefetch:    *prefetchPol,
-		BatchSizing: *sizingPol,
-	}
+	cfg.Policies = pol.Selection()
 	if *hwFault {
 		cfg.HW.LinkDegradeRate = 0.2
 		cfg.HW.LinkFlapRate = 0.1

@@ -39,10 +39,14 @@ func main() {
 	// (one lane per experiment); the metrics flags publish/sample harness
 	// progress.
 	ofl := obs.RegisterFlags(flag.CommandLine)
-	evictPol := flag.String("evict", "", "override the eviction policy (registry name) in every experiment's base profile")
-	prefetchPol := flag.String("prefetch-policy", "", "override the prefetch policy (registry name) in every experiment's base profile")
-	sizingPol := flag.String("batch-sizing", "", "override the batch-sizing policy (registry name) in every experiment's base profile")
+	// Shared policy flag block: overrides reach every experiment's base
+	// profile (-evict/-prefetch-policy/-batch-sizing/-arch/-list-policies).
+	pol := uvm.RegisterPolicyFlags(flag.CommandLine)
 	flag.Parse()
+
+	if pol.HandleList(os.Stdout) {
+		return
+	}
 
 	// Graceful drain: SIGINT/SIGTERM stops scheduling new experiments;
 	// in-flight generators finish and their artifacts are still written,
@@ -54,11 +58,7 @@ func main() {
 	// experiment that ablates a policy dimension still sweeps it (the
 	// ablation overwrites that field). Unknown names are rejected here,
 	// with the valid options, before any simulation runs.
-	if err := experiments.SetPolicies(uvm.PolicySelection{
-		Eviction:    *evictPol,
-		Prefetch:    *prefetchPol,
-		BatchSizing: *sizingPol,
-	}); err != nil {
+	if err := experiments.SetPolicies(pol.Selection()); err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(2)
 	}

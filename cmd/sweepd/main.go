@@ -36,6 +36,7 @@ import (
 	"guvm/internal/obs"
 	"guvm/internal/sweepd"
 	"guvm/internal/sweepd/store"
+	"guvm/internal/uvm"
 )
 
 func main() {
@@ -61,8 +62,19 @@ func main() {
 		// points. -metrics-addr serves a second, obs-only endpoint (the
 		// primary -addr always carries /metrics too).
 		ofl = obs.RegisterFlags(flag.CommandLine)
+		// Shared policy flag block: daemon-wide defaults applied to every
+		// JobSpec dimension a client leaves empty.
+		pol = uvm.RegisterPolicyFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if pol.HandleList(os.Stdout) {
+		return
+	}
+	if err := sweepd.SetDefaultPolicies(pol.Selection()); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(2)
+	}
 
 	var inj *faultinject.ServiceInjector
 	if *injFailRate > 0 || *injSlowRate > 0 {

@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 	"time"
@@ -62,22 +61,6 @@ var workloadNames = []string{
 	"sgemm", "dgemm", "fft", "gauss-seidel", "hpgmg", "spmv",
 }
 
-// printPolicies writes the registered driver policies grouped by kind, in
-// registration order (the -list-policies output).
-func printPolicies(w io.Writer) {
-	var kind uvm.PolicyKind
-	for _, p := range uvm.Policies() {
-		if p.Kind != kind {
-			if kind != "" {
-				fmt.Fprintln(w)
-			}
-			kind = p.Kind
-			fmt.Fprintf(w, "%s:\n", kind)
-		}
-		fmt.Fprintf(w, "  %-12s %s\n", p.Name, p.Description)
-	}
-}
-
 func main() {
 	var (
 		name        = flag.String("workload", "stream", "workload name (see -list)")
@@ -103,19 +86,17 @@ func main() {
 		adaptive   = flag.Bool("adaptive-batch", false, "duplicate-adaptive batch sizing")
 		asyncUnmap = flag.Bool("async-unmap", false, "preemptive CPU unmapping at kernel launch")
 		xblock     = flag.Int("xblock-prefetch", 0, "cross-VABlock prefetch scope (blocks ahead)")
-		evict      = flag.String("evict", "lru", "eviction policy by registry name (see -list-policies)")
 
-		// Named policy selection (the registry in internal/uvm). Empty
-		// prefetch/batch-sizing selections defer to the individual knobs
-		// above; non-empty ones override them.
-		prefetchPol  = flag.String("prefetch-policy", "", "prefetch policy by registry name (overrides -prefetch/-xblock-prefetch)")
-		sizingPol    = flag.String("batch-sizing", "", "batch-sizing policy by registry name (overrides -adaptive-batch)")
-		listPolicies = flag.Bool("list-policies", false, "list registered driver policies and exit")
-		analyze      = flag.Bool("analyze", false, "print post-run telemetry analysis")
-		traceFile    = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
-		csvOut       = flag.String("csv", "", "write per-batch records as CSV to this file")
-		csvInject    = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
-		faultsOut    = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
+		// Named policy selection (the registry in internal/uvm): the shared
+		// -evict/-prefetch-policy/-batch-sizing/-arch/-list-policies block.
+		// Empty prefetch/batch-sizing selections defer to the individual
+		// knobs above; non-empty ones override them.
+		pol       = uvm.RegisterPolicyFlags(flag.CommandLine)
+		analyze   = flag.Bool("analyze", false, "print post-run telemetry analysis")
+		traceFile = flag.String("trace", "", "replay a recorded access trace instead of a named workload")
+		csvOut    = flag.String("csv", "", "write per-batch records as CSV to this file")
+		csvInject = flag.Bool("csv-inject", false, "append injected-fault columns to the -csv export")
+		faultsOut = flag.String("faults-jsonl", "", "write per-fault records as JSON lines to this file (enables fault retention)")
 
 		// Observability (internal/obs): the shared flag set (-trace-out,
 		// -metrics-csv/-json/-interval, -metrics-addr) plus uvmsim-only
@@ -156,8 +137,7 @@ func main() {
 		}
 		return
 	}
-	if *listPolicies {
-		printPolicies(os.Stdout)
+	if pol.HandleList(os.Stdout) {
 		return
 	}
 
@@ -189,11 +169,7 @@ func main() {
 	cfg.Driver.AdaptiveBatch = *adaptive
 	cfg.Driver.AsyncUnmap = *asyncUnmap
 	cfg.Driver.CrossBlockPrefetch = *xblock
-	cfg.Policies = uvm.PolicySelection{
-		Eviction:    *evict,
-		Prefetch:    *prefetchPol,
-		BatchSizing: *sizingPol,
-	}
+	cfg.Policies = pol.Selection()
 	// Resolve eagerly so an unregistered name is rejected (with the valid
 	// options) before any workload work happens, for every run mode.
 	if err := cfg.Policies.Apply(&cfg.Driver); err != nil {

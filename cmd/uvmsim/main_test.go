@@ -11,29 +11,30 @@ import (
 	"guvm/internal/uvm"
 )
 
-// TestPrintPolicies checks the -list-policies output: every registered
-// policy appears under its kind heading, in registration order.
+// TestPrintPolicies checks the shared -list-policies output: every
+// registered policy appears under its kind heading, with the kind
+// headings themselves in registration order.
 func TestPrintPolicies(t *testing.T) {
 	var buf bytes.Buffer
-	printPolicies(&buf)
+	uvm.WritePolicies(&buf)
 	out := buf.String()
 
-	for _, kind := range []uvm.PolicyKind{uvm.KindEviction, uvm.KindPrefetch, uvm.KindBatchSizing} {
-		if !strings.Contains(out, string(kind)+":") {
-			t.Errorf("listing missing %q heading:\n%s", kind, out)
-		}
-	}
 	last := -1
-	for _, p := range uvm.Policies() {
-		i := strings.Index(out, "  "+p.Name)
+	for _, kind := range []uvm.PolicyKind{uvm.KindEviction, uvm.KindPrefetch, uvm.KindBatchSizing, uvm.KindArchitecture} {
+		i := strings.Index(out, string(kind)+":")
 		if i < 0 {
-			t.Errorf("listing missing policy %q:\n%s", p.Name, out)
+			t.Errorf("listing missing %q heading:\n%s", kind, out)
 			continue
 		}
 		if i < last {
-			t.Errorf("policy %q listed out of registration order", p.Name)
+			t.Errorf("kind %q listed out of registration order", kind)
 		}
 		last = i
+	}
+	for _, p := range uvm.Policies() {
+		if !strings.Contains(out, "  "+p.Name) {
+			t.Errorf("listing missing policy %q:\n%s", p.Name, out)
+		}
 	}
 }
 
@@ -78,7 +79,8 @@ func TestCLIPolicyFlags(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-list-policies: %v\n%s", err, out)
 	}
-	for _, name := range []string{"lru", "lfu", "tree", "cross-block", "fixed", "adaptive"} {
+	for _, name := range []string{"lru", "lfu", "tree", "cross-block", "fixed", "adaptive",
+		"host-driven", "gpu-driven", "access-counter"} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list-policies output missing %q:\n%s", name, out)
 		}
@@ -96,6 +98,19 @@ func TestCLIPolicyFlags(t *testing.T) {
 	if !strings.Contains(string(out), "unknown eviction policy") ||
 		!strings.Contains(string(out), "valid: lru, fifo, random, lfu") {
 		t.Errorf("rejection message does not name the valid options:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "-workload", "vecadd", "-arch", "warp-speed")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-arch warp-speed accepted; output:\n%s", out)
+	}
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("-arch warp-speed: want exit code 2, got %v", err)
+	}
+	if !strings.Contains(string(out), "unknown architecture policy") ||
+		!strings.Contains(string(out), "valid: host-driven, gpu-driven, access-counter") {
+		t.Errorf("architecture rejection does not name the valid options:\n%s", out)
 	}
 }
 

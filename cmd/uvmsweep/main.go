@@ -47,17 +47,17 @@ func parseIntList(s string) ([]int, error) {
 
 func main() {
 	var (
-		name     = flag.String("workload", "gauss-seidel", "workload to sweep")
-		mb       = flag.Uint64("mb", 64, "footprint knob in MiB")
-		n        = flag.Int("n", 3072, "problem dimension for gemm/gauss-seidel/spmv")
-		seed     = flag.Uint64("seed", 11, "workload seed")
-		batches  = flag.String("batches", "256", "comma-separated batch size limits")
-		caps     = flag.String("caps", "32,64,256", "comma-separated GPU capacities in MiB")
-		prefetch = flag.String("prefetch", "on,off", "prefetch policies to sweep, by registry name (on/off accepted as aliases of tree/off)")
-		policies = flag.String("evict", "lru", "eviction policies to sweep, by registry name")
-		sizings  = flag.String("batch-sizing", "fixed", "batch-sizing policies to sweep, by registry name")
-		auditOn  = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
+		name    = flag.String("workload", "gauss-seidel", "workload to sweep")
+		mb      = flag.Uint64("mb", 64, "footprint knob in MiB")
+		n       = flag.Int("n", 3072, "problem dimension for gemm/gauss-seidel/spmv")
+		seed    = flag.Uint64("seed", 11, "workload seed")
+		batches = flag.String("batches", "256", "comma-separated batch size limits")
+		caps    = flag.String("caps", "32,64,256", "comma-separated GPU capacities in MiB")
+		// Shared sweep policy flag block: comma lists per registry dimension
+		// (-prefetch/-evict/-batch-sizing/-arch) plus -list-policies.
+		plf     = uvm.RegisterPolicyListFlags(flag.CommandLine)
+		auditOn = flag.Bool("audit", false, "run the invariant auditor on every sweep point; a violation names the failing point and exits non-zero")
+		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to run concurrently")
 		// Shared obs flag set: -trace-out records one wall-clock span per
 		// grid point; the metrics flags publish/sample sweep progress.
 		ofl = obs.RegisterFlags(flag.CommandLine)
@@ -69,6 +69,10 @@ func main() {
 	// the partial CSV is always a clean prefix of the full sweep.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if plf.HandleList(os.Stdout) {
+		return
+	}
 
 	mk, err := workloads.ByName(*name, *mb, *n, *seed)
 	if err != nil {
@@ -85,44 +89,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
 		os.Exit(2)
 	}
-	// Expand the grid up front (validating every policy name against the
-	// registry before any simulation runs — an unknown name is rejected
-	// with the valid options), then fan the independent points out on the
-	// pool. Each point carries a named PolicySelection that NewSimulator
-	// resolves onto the driver config.
+	// Expand the grid up front (Selections validates every policy name
+	// against the registry before any simulation runs — an unknown name is
+	// rejected with the valid options), then fan the independent points
+	// out on the pool. Each point carries a named PolicySelection that
+	// NewSimulator resolves onto the driver config.
 	type point struct {
 		bs, capMB int
 		pols      uvm.PolicySelection
 	}
-	var grid []point
-	validate := func(sel uvm.PolicySelection) {
-		var probe uvm.Config
-		if err := sel.Apply(&probe); err != nil {
-			fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
-			os.Exit(2)
-		}
+	sels, err := plf.Selections()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %v\n", err)
+		os.Exit(2)
 	}
+	var grid []point
 	for _, bs := range batchList {
 		for _, capMB := range capList {
-			for _, pf := range strings.Split(*prefetch, ",") {
-				pfName := strings.TrimSpace(pf)
-				switch pfName { // legacy aliases
-				case "on":
-					pfName = "tree"
-				case "":
-					pfName = "off"
-				}
-				for _, pol := range strings.Split(*policies, ",") {
-					for _, sz := range strings.Split(*sizings, ",") {
-						sel := uvm.PolicySelection{
-							Eviction:    strings.TrimSpace(pol),
-							Prefetch:    pfName,
-							BatchSizing: strings.TrimSpace(sz),
-						}
-						validate(sel)
-						grid = append(grid, point{bs, capMB, sel})
-					}
-				}
+			for _, sel := range sels {
+				grid = append(grid, point{bs, capMB, sel})
 			}
 		}
 	}
@@ -175,7 +160,7 @@ func main() {
 		elapsed time.Duration
 		err     error
 	}
-	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,batch_sizing,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
+	fmt.Println("workload,batch_size,cap_mb,prefetch,evict,batch_sizing,arch,kernel_ms,batch_ms,batches,faults,evictions,migrated_mb,prefetched_pages")
 	runErr := experiments.ForEachOrdered(ctx, len(grid), *jobs, func(i int) outcome {
 		pointStart := time.Now()
 		p := grid[i]
@@ -193,8 +178,8 @@ func main() {
 		if err != nil {
 			return outcome{err: fmt.Errorf("%s bs=%d cap=%d: %w", *name, p.bs, p.capMB, err)}
 		}
-		return outcome{row: fmt.Sprintf("%s,%d,%d,%s,%s,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d",
-			res.Workload, p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing,
+		return outcome{row: fmt.Sprintf("%s,%d,%d,%s,%s,%s,%s,%.3f,%.3f,%d,%d,%d,%.1f,%d",
+			res.Workload, p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing, p.pols.Architecture,
 			res.KernelTime.Millis(), res.BatchTime().Millis(),
 			len(res.Batches), res.DriverStats.TotalFaults,
 			res.DriverStats.Evictions,
@@ -217,8 +202,8 @@ func main() {
 				start = 0
 			}
 			p := grid[i]
-			harness.Add(1, "point", fmt.Sprintf("bs=%d cap=%d %s/%s/%s",
-				p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing),
+			harness.Add(1, "point", fmt.Sprintf("bs=%d cap=%d %s/%s/%s/%s",
+				p.bs, p.capMB, p.pols.Prefetch, p.pols.Eviction, p.pols.BatchSizing, p.pols.Architecture),
 				start, end-start, i)
 		}
 		if prog != nil {

@@ -79,10 +79,11 @@ type SystemConfig struct {
 	// instrumentation, zero cost on the fault-service path.
 	Obs obs.Config
 	// Policies selects the driver's eviction/prefetch/batch-sizing
-	// policies by registry name (see uvm.Policies for the catalog),
-	// overriding the corresponding Driver knobs. Empty fields leave the
-	// knobs untouched; an unregistered name makes NewSimulator return an
-	// error wrapping uvm.ErrUnknownPolicy.
+	// policies and its architecture (the stage graph itself) by registry
+	// name (see uvm.Policies for the catalog), overriding the
+	// corresponding Driver knobs. Empty fields leave the knobs untouched;
+	// an unregistered name makes NewSimulator return an error wrapping
+	// uvm.ErrUnknownPolicy.
 	Policies uvm.PolicySelection
 }
 
@@ -259,12 +260,16 @@ func NewSimulator(cfg SystemConfig) (*Simulator, error) {
 	}
 	if cfg.Obs.Active() {
 		s.Obs = obs.New(cfg.Obs)
-		s.Obs.SetBatchSetupCost(cfg.Driver.Costs.BatchSetup)
+		// The driver's effective costs can differ from cfg.Driver (the
+		// selected architecture may rewrite its cost model).
+		s.Obs.SetBatchSetupCost(drv.Config().Costs.BatchSetup)
 		s.registerMetrics()
 		if s.Obs.Profiler != nil {
 			// The profiler hooks run inside the pipeline, before the
 			// batch observers — its metrics are current when OnBatch
-			// samples the registry.
+			// samples the registry. Its per-step attribution follows the
+			// architecture's declared block-step label contract.
+			s.Obs.Profiler.SetBlockStepLabels(drv.Architecture().BlockSteps)
 			drv.SetProfiler(s.Obs.Profiler)
 		}
 		drv.AddBatchObserver(s.Obs.OnBatch)

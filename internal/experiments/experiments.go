@@ -69,6 +69,9 @@ func All() []Generator {
 		{"fig17", "HPGMG case study (~25% oversubscription)", Fig17},
 		// Profiler-measured batch-time attribution (not a paper figure).
 		{"breakdown", "Batch-time breakdown by pipeline stage (profiler)", Breakdown},
+		// Registered UVM architectures compared on one workload (not a
+		// paper figure; the paper's driver is the host-driven entry).
+		{"exp_architectures", "UVM architecture comparison (vecadd)", ArchitectureComparison},
 		// Ablations of the §6 proposed improvements (not paper figures).
 		{"abl-parallel", "Ablation: parallel VABlock servicing", AblParallel},
 		{"abl-adaptive", "Ablation: duplicate-adaptive batch sizing", AblAdaptiveBatch},

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	gens := All()
-	if len(gens) != 27 {
-		t.Fatalf("registry has %d experiments, want 27 (tables+figures, breakdown, 6 ablations, multi-GPU extension)", len(gens))
+	if len(gens) != 28 {
+		t.Fatalf("registry has %d experiments, want 28 (tables+figures, breakdown, architectures, 6 ablations, multi-GPU extension)", len(gens))
 	}
 	seen := map[string]bool{}
 	for _, g := range gens {

@@ -84,6 +84,11 @@ func (d *Device) Digest() uint64 {
 	h = h.Int(s.FaultsEmitted).Int(s.DupFaults).Int(s.Refaults)
 	h = h.Int(s.ThrottleStalls).Int(s.UTLBFullStalls).Int(s.BlocksCompleted)
 	h = h.Int(s.InjectedDrops).Int(s.InjectedDropRetries).Int(s.InjectedDropsLost)
+	// Architecture telemetry folds in only when non-zero, keeping the
+	// default host-driven digests bit-identical to their goldens.
+	if s.RemoteAccesses != 0 || s.CounterNotices != 0 {
+		h = h.Int(s.RemoteAccesses).Int(s.CounterNotices)
+	}
 	// A killed device folds the flag in; live devices keep their
 	// historical digests bit-identical.
 	if st.Killed {

@@ -14,6 +14,10 @@ type AccessCounters struct {
 	// Granularity rounds page accesses to counter buckets; the paper's
 	// hardware aggregates at large granularity. We count per VABlock.
 	enabled bool
+	// threshold, when non-zero, makes recordRemote report the exact
+	// access on which a block's counter crosses it (the access-counter
+	// architecture's migration trigger).
+	threshold uint64
 }
 
 // NewAccessCounters returns a disabled counter bank (matching the real
@@ -34,6 +38,21 @@ func (c *AccessCounters) record(p mem.PageID) {
 		return
 	}
 	c.counts[p.VABlock()]++
+}
+
+// SetThreshold arms the crossing signal recordRemote reports (0 disarms).
+func (c *AccessCounters) SetThreshold(t uint64) { c.threshold = t }
+
+// recordRemote notes one remote (host-memory) access to page p and
+// reports whether the block's counter crossed the armed threshold on
+// exactly this access — true at most once per Clear cycle.
+func (c *AccessCounters) recordRemote(p mem.PageID) bool {
+	if !c.enabled {
+		return false
+	}
+	b := p.VABlock()
+	c.counts[b]++
+	return c.threshold > 0 && c.counts[b] == c.threshold
 }
 
 // Read returns the counter for a block.

@@ -36,21 +36,31 @@ type Config struct {
 	OpIssueTime sim.Time
 	// MemLatency is the latency of a non-faulting global memory access.
 	MemLatency sim.Time
+	// RemoteAccessLatency is the latency of a non-faulting access to a
+	// remote-mapped page: the data is fetched from host memory across the
+	// link (access-counter architecture).
+	RemoteAccessLatency sim.Time
+	// DirectNotifyLatency replaces InterruptLatency when the fault
+	// observer runs on-device (SetDirectObservation): the delay from a
+	// buffer write to the page-management unit noticing it.
+	DirectNotifyLatency sim.Time
 }
 
 // DefaultTitanV returns the paper-testbed GPU profile.
 func DefaultTitanV() Config {
 	return Config{
-		NumSMs:             80,
-		SMsPerUTLB:         2,
-		MaxFaultsPerUTLB:   56,
-		FaultThrottleGap:   500 * sim.Nanosecond,
-		GMMULatency:        1 * sim.Microsecond,
-		InterruptLatency:   2 * sim.Microsecond,
-		FaultBufferEntries: 8192,
-		MaxBlocksPerSM:     2,
-		OpIssueTime:        20 * sim.Nanosecond,
-		MemLatency:         400 * sim.Nanosecond,
+		NumSMs:              80,
+		SMsPerUTLB:          2,
+		MaxFaultsPerUTLB:    56,
+		FaultThrottleGap:    500 * sim.Nanosecond,
+		GMMULatency:         1 * sim.Microsecond,
+		InterruptLatency:    2 * sim.Microsecond,
+		FaultBufferEntries:  8192,
+		MaxBlocksPerSM:      2,
+		OpIssueTime:         20 * sim.Nanosecond,
+		MemLatency:          400 * sim.Nanosecond,
+		RemoteAccessLatency: 1200 * sim.Nanosecond,
+		DirectNotifyLatency: 250 * sim.Nanosecond,
 	}
 }
 
@@ -77,6 +87,18 @@ type ResidencyChecker interface {
 	IsResidentOnGPU(p mem.PageID) bool
 }
 
+// RemoteChecker extends a ResidencyChecker with remote-mapping state: a
+// page may be GPU-accessible across the link while its data stays in
+// host memory (the access-counter architecture). RemoteMappingActive
+// gates installation — when it reports false at construction the device
+// never consults the check, keeping the access hot path the historical
+// resident-or-fault two-way split.
+type RemoteChecker interface {
+	ResidencyChecker
+	IsRemoteOnGPU(p mem.PageID) bool
+	RemoteMappingActive() bool
+}
+
 // Stats aggregates device-side fault accounting.
 type Stats struct {
 	FaultsEmitted   int // fault records written to the buffer
@@ -90,6 +112,10 @@ type Stats struct {
 	InjectedDrops       int // delivery attempts dropped by injection
 	InjectedDropRetries int // hardware re-emissions after an injected drop
 	InjectedDropsLost   int // drops whose re-emission budget ran out
+
+	// Architecture telemetry (zero under the default host-driven arch).
+	RemoteAccesses int // accesses satisfied from host memory via remote mapping
+	CounterNotices int // notification faults emitted on counter threshold crossings
 }
 
 // access is one outstanding page access by one warp. Instances are
@@ -232,6 +258,13 @@ type Device struct {
 	sms    []*smState
 
 	onInterrupt func()
+	// notifyLat is the buffer-write -> observer-wakeup delay in force:
+	// InterruptLatency by default, DirectNotifyLatency after
+	// SetDirectObservation (gpu-driven architecture).
+	notifyLat sim.Time
+	// remote, when installed from a RemoteChecker, reports remote-mapped
+	// pages; nil keeps the access path the two-way resident/fault split.
+	remote func(p mem.PageID) bool
 
 	kernel     Kernel
 	nextBlock  int
@@ -309,11 +342,15 @@ func NewDevice(cfg Config, eng *sim.Engine, res ResidencyChecker) (*Device, erro
 		return nil, err
 	}
 	d := &Device{
-		cfg:      cfg,
-		eng:      eng,
-		res:      res,
-		Buffer:   NewFaultBuffer(cfg.FaultBufferEntries),
-		Counters: NewAccessCounters(),
+		cfg:       cfg,
+		eng:       eng,
+		res:       res,
+		Buffer:    NewFaultBuffer(cfg.FaultBufferEntries),
+		Counters:  NewAccessCounters(),
+		notifyLat: cfg.InterruptLatency,
+	}
+	if rc, ok := res.(RemoteChecker); ok && rc.RemoteMappingActive() {
+		d.remote = rc.IsRemoteOnGPU
 	}
 	numUTLBs := (cfg.NumSMs + cfg.SMsPerUTLB - 1) / cfg.SMsPerUTLB
 	d.utlbs = make([]*utlb, numUTLBs)
@@ -340,6 +377,15 @@ func (d *Device) SetInterruptHandler(fn func()) { d.onInterrupt = fn }
 // SetInjector attaches a fault injector to the fault-delivery path. A nil
 // injector (the default) disables injection.
 func (d *Device) SetInjector(in *faultinject.Injector) { d.inj = in }
+
+// SetDirectObservation switches fault-observer wakeup to the on-device
+// path: notifications fire DirectNotifyLatency after a buffer write
+// instead of crossing PCIe at InterruptLatency (gpu-driven architecture).
+func (d *Device) SetDirectObservation() {
+	if lat := d.cfg.DirectNotifyLatency; lat > 0 {
+		d.notifyLat = lat
+	}
+}
 
 // LaunchKernel starts a kernel; done is called when every block retires.
 // Only one kernel may run at a time.
@@ -530,7 +576,7 @@ func (d *Device) deliver(de *deliverEv) {
 		d.stats.DupFaults++
 	}
 	if wasEmpty && d.onInterrupt != nil {
-		d.eng.Schedule(d.cfg.InterruptLatency, d.onInterrupt)
+		d.eng.Schedule(d.notifyLat, d.onInterrupt)
 	}
 }
 
@@ -578,15 +624,33 @@ func (d *Device) Replay() {
 	}
 }
 
-// recheck resolves one access after a replay: satisfy if now resident,
-// otherwise re-fault.
+// recheck resolves one access after a replay: satisfy if now resident or
+// remote-mapped, otherwise re-fault.
 func (d *Device) recheck(acc *access) {
 	if d.res.IsResidentOnGPU(acc.page) {
 		d.eng.ScheduleArg(d.cfg.MemLatency, satisfyAccFn, acc)
 		return
 	}
+	if d.remote != nil && d.remote(acc.page) {
+		d.recordRemote(acc.page, acc.warp)
+		d.eng.ScheduleArg(d.cfg.RemoteAccessLatency, satisfyAccFn, acc)
+		return
+	}
 	d.stats.Refaults++
 	d.refault(acc)
+}
+
+// recordRemote notes one access satisfied through a remote mapping and,
+// exactly when the block's counter crosses the threshold, emits a
+// notification fault so the driver's next batch observes the crossing
+// and promotes the block. No µTLB entry is made — nothing waits on a
+// notification fault.
+func (d *Device) recordRemote(page mem.PageID, w *warp) {
+	d.stats.RemoteAccesses++
+	if d.Counters.recordRemote(page) {
+		d.stats.CounterNotices++
+		d.emitFault(page, w, AccessNotify, false)
+	}
 }
 
 // refault re-inserts an access's fault after an unserviced replay. The
@@ -722,6 +786,14 @@ func (w *warp) issue(page mem.PageID, op *Op) issueResult {
 		d.Counters.record(page)
 		acc := w.track(page, kind, op)
 		d.eng.ScheduleArg(d.cfg.MemLatency, satisfyAccFn, acc)
+		return issueOK
+	}
+	if d.remote != nil && d.remote(page) {
+		// Remote-mapped: the access reaches host memory across the link
+		// without faulting (access-counter architecture).
+		d.recordRemote(page, w)
+		acc := w.track(page, kind, op)
+		d.eng.ScheduleArg(d.cfg.RemoteAccessLatency, satisfyAccFn, acc)
 		return issueOK
 	}
 	u := w.sm.utlb

@@ -26,6 +26,11 @@ const (
 	// scoreboard register and bypasses the µTLB outstanding-fault limit
 	// and the SM fault-rate throttle (§3.2, Figure 5).
 	AccessPrefetch
+	// AccessNotify is not a memory access but a counter-threshold
+	// crossing surfaced to the driver through the fault buffer
+	// (access-counter architecture). No µTLB entry is made and no access
+	// waits on its replay.
+	AccessNotify
 )
 
 // String returns a short name for the access kind.
@@ -37,6 +42,8 @@ func (k AccessKind) String() string {
 		return "write"
 	case AccessPrefetch:
 		return "prefetch"
+	case AccessNotify:
+		return "notify"
 	}
 	return "unknown"
 }

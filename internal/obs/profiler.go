@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"guvm/internal/gpu"
 	"guvm/internal/mem"
@@ -139,19 +140,22 @@ func (s *stageStat) observe(d sim.Time) {
 // a map.
 type blockRec struct {
 	bid    mem.VABlockID
-	steps  [numBlockSteps]sim.Time
+	steps  [maxBlockSteps]sim.Time
 	total  sim.Time
 	endOff sim.Time // serial end offset within the service window
 	pages  int
 	eager  bool
 }
 
-// numBlockSteps mirrors uvm's block-step pipeline length (residency,
-// prefetch-plan, populate, transfer). The BlockServiced signature pins
-// the two constants together at compile time.
-const numBlockSteps = 4
+// maxBlockSteps bounds the per-block step decomposition the profiler
+// retains. Architectures declare their own block-step pipelines
+// (uvm.ArchitectureInfo.BlockSteps); steps past the cap are dropped.
+const maxBlockSteps = 8
 
-var blockStepNames = [numBlockSteps]string{"residency", "prefetch_plan", "populate", "transfer"}
+// defaultStepLabels matches the host-driven block-step pipeline, used
+// until SetBlockStepLabels installs the selected architecture's
+// contract.
+var defaultStepLabels = []string{"residency", "prefetch_plan", "populate", "transfer"}
 
 // BatchProfile is one batch's retained critical-path record.
 type BatchProfile struct {
@@ -170,7 +174,7 @@ type BatchProfile struct {
 	// decomposition. Ties resolve to the earliest serviced block.
 	CritBlock mem.VABlockID
 	CritCost  sim.Time
-	CritSteps [numBlockSteps]sim.Time
+	CritSteps [maxBlockSteps]sim.Time
 }
 
 // blockHeat is the per-VABlock heat account. pageCounts is indexed by
@@ -196,6 +200,10 @@ type Profiler struct {
 	life   [numLifecycle]lifeStat
 	stages [numStages]stageStat
 
+	// stepLabels is the per-block step label contract in force — the
+	// selected architecture's declared block-step names, underscored.
+	stepLabels []string
+
 	batches []BatchProfile
 	heat    mem.BlockDir[*blockHeat]
 
@@ -214,7 +222,7 @@ type Profiler struct {
 // NewProfiler builds a profiler registering its histograms and totals
 // on reg and, when tracer is non-nil, emitting LaneBlocks step spans.
 func NewProfiler(tracer *Tracer, reg *Registry) *Profiler {
-	p := &Profiler{tracer: tracer, reg: reg}
+	p := &Profiler{tracer: tracer, reg: reg, stepLabels: defaultStepLabels}
 	lifeBounds := []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 	for i := range p.life {
 		p.life[i].hist = reg.Histogram(
@@ -275,17 +283,37 @@ func (p *Profiler) BeginBatch(start, entered sim.Time, faults []gpu.Fault) {
 	}
 }
 
+// SetBlockStepLabels installs the selected architecture's block-step
+// label contract (uvm.ArchitectureInfo.BlockSteps). Dashes become
+// underscores to match the metric/CSV naming style; labels past
+// maxBlockSteps are dropped. Call before the run; guvm wires this from
+// the driver's architecture.
+func (p *Profiler) SetBlockStepLabels(labels []string) {
+	if p == nil || len(labels) == 0 {
+		return
+	}
+	out := make([]string, 0, min(len(labels), maxBlockSteps))
+	for _, l := range labels {
+		if len(out) == maxBlockSteps {
+			break
+		}
+		out = append(out, strings.ReplaceAll(l, "-", "_"))
+	}
+	p.stepLabels = out
+}
+
 // BlockServiced implements uvm.PipelineProfiler: record the block's
-// step decomposition and lay it out on the serial service cursor.
-func (p *Profiler) BlockServiced(bid mem.VABlockID, pages int, eager bool, steps *[numBlockSteps]sim.Time, total sim.Time) {
+// step decomposition and lay it out on the serial service cursor. steps
+// is driver-owned scratch in the architecture's declared step order;
+// it is copied here.
+func (p *Profiler) BlockServiced(bid mem.VABlockID, pages int, eager bool, steps []sim.Time, total sim.Time) {
 	p.serial += total
 	if !eager && p.nFaulted == len(p.blocks) {
 		p.nFaulted++
 	}
-	p.blocks = append(p.blocks, blockRec{
-		bid: bid, steps: *steps, total: total,
-		endOff: p.serial, pages: pages, eager: eager,
-	})
+	rec := blockRec{bid: bid, total: total, endOff: p.serial, pages: pages, eager: eager}
+	copy(rec.steps[:min(len(steps), maxBlockSteps)], steps)
+	p.blocks = append(p.blocks, rec)
 }
 
 // EndBatch implements uvm.PipelineProfiler: fold the completed record
@@ -390,10 +418,10 @@ func (p *Profiler) EndBatch(id int, rec *trace.BatchRecord) {
 				cursor += mgmt
 			}
 			for s, d := range b.steps {
-				if d <= 0 {
+				if d <= 0 || s >= len(p.stepLabels) {
 					continue
 				}
-				p.tracer.Add(LaneBlocks, "block", blockStepNames[s], cursor, d, id)
+				p.tracer.Add(LaneBlocks, "block", p.stepLabels[s], cursor, d, id)
 				cursor += d
 			}
 		}
@@ -501,20 +529,33 @@ func (p *Profiler) WriteLifecycleCSV(w io.Writer) error {
 	return nil
 }
 
-// WriteBatchesCSV writes one critical-path row per batch.
+// WriteBatchesCSV writes one critical-path row per batch. The per-step
+// columns follow the installed block-step label contract, so the header
+// adapts to the selected architecture.
 func (p *Profiler) WriteBatchesCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "batch,start_ns,end_ns,faults,blocks,serial_ns,service_ns,"+
-		"crit_block,crit_cost_ns,crit_residency_ns,crit_plan_ns,crit_populate_ns,crit_transfer_ns\n"); err != nil {
+	var hdr strings.Builder
+	hdr.WriteString("batch,start_ns,end_ns,faults,blocks,serial_ns,service_ns,crit_block,crit_cost_ns")
+	for _, l := range p.stepLabels {
+		hdr.WriteString(",crit_" + l + "_ns")
+	}
+	hdr.WriteString("\n")
+	if _, err := io.WriteString(w, hdr.String()); err != nil {
 		return err
 	}
 	for i := range p.batches {
 		b := &p.batches[i]
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d",
 			b.ID, int64(b.Start), int64(b.End), b.Faults, b.Blocks,
 			int64(b.SerialNS), int64(b.ServiceNS),
-			uint64(b.CritBlock), int64(b.CritCost),
-			int64(b.CritSteps[0]), int64(b.CritSteps[1]),
-			int64(b.CritSteps[2]), int64(b.CritSteps[3])); err != nil {
+			uint64(b.CritBlock), int64(b.CritCost)); err != nil {
+			return err
+		}
+		for s := range p.stepLabels {
+			if _, err := fmt.Fprintf(w, ",%d", int64(b.CritSteps[s])); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}

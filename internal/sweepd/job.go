@@ -24,10 +24,40 @@ type JobSpec struct {
 	Evict    []string `json:"evict,omitempty"`
 	Prefetch []string `json:"prefetch,omitempty"`
 	Sizing   []string `json:"batch_sizing,omitempty"`
+	Arch     []string `json:"arch,omitempty"`
 
 	// DeadlineMS bounds the whole job in wall-clock milliseconds;
 	// 0 uses the service default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// defaultPolicies supplies the per-dimension values a JobSpec omits;
+// empty fields fall back to the historical defaults (lru, tree, fixed,
+// host-driven). Set once at daemon startup, before jobs are admitted.
+var defaultPolicies uvm.PolicySelection
+
+// SetDefaultPolicies installs daemon-wide default policies applied to
+// every JobSpec dimension the client leaves empty, mirroring
+// experiments.SetPolicies. Names are validated against the registry so
+// the daemon rejects a bad default — with the valid options — at
+// startup, never at job admission.
+func SetDefaultPolicies(p uvm.PolicySelection) error {
+	var probe uvm.Config
+	if err := p.Apply(&probe); err != nil {
+		return err
+	}
+	defaultPolicies = p
+	return nil
+}
+
+// orDefault picks the first non-empty value.
+func orDefault(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 func (js *JobSpec) normalize() {
@@ -47,13 +77,16 @@ func (js *JobSpec) normalize() {
 		js.CapsMB = []int{64}
 	}
 	if len(js.Evict) == 0 {
-		js.Evict = []string{"lru"}
+		js.Evict = []string{orDefault(defaultPolicies.Eviction, "lru")}
 	}
 	if len(js.Prefetch) == 0 {
-		js.Prefetch = []string{"tree"}
+		js.Prefetch = []string{orDefault(defaultPolicies.Prefetch, "tree")}
 	}
 	if len(js.Sizing) == 0 {
-		js.Sizing = []string{"fixed"}
+		js.Sizing = []string{orDefault(defaultPolicies.BatchSizing, "fixed")}
+	}
+	if len(js.Arch) == 0 {
+		js.Arch = []string{orDefault(defaultPolicies.Architecture, "host-driven")}
 	}
 }
 
@@ -81,35 +114,34 @@ func (js JobSpec) Points() ([]PointConfig, error) {
 	for _, bs := range js.Batches {
 		for _, capMB := range js.CapsMB {
 			for _, pf := range js.Prefetch {
-				pfName := strings.TrimSpace(pf)
-				switch pfName { // legacy aliases, as in uvmsweep
-				case "on":
-					pfName = "tree"
-				case "":
-					pfName = "off"
-				}
+				// Legacy aliases (on/off), as in uvmsweep.
+				pfName := uvm.NormalizePrefetch(pf)
 				for _, ev := range js.Evict {
 					for _, sz := range js.Sizing {
-						sel := uvm.PolicySelection{
-							Eviction:    strings.TrimSpace(ev),
-							Prefetch:    pfName,
-							BatchSizing: strings.TrimSpace(sz),
+						for _, ar := range js.Arch {
+							sel := uvm.PolicySelection{
+								Eviction:     strings.TrimSpace(ev),
+								Prefetch:     pfName,
+								BatchSizing:  strings.TrimSpace(sz),
+								Architecture: strings.TrimSpace(ar),
+							}
+							var probe uvm.Config
+							if err := sel.Apply(&probe); err != nil {
+								return nil, err
+							}
+							pts = append(pts, PointConfig{
+								Workload:  js.Workload,
+								MB:        js.MB,
+								N:         js.N,
+								Seed:      js.Seed,
+								BatchSize: bs,
+								CapMB:     capMB,
+								Evict:     sel.Eviction,
+								Prefetch:  sel.Prefetch,
+								Sizing:    sel.BatchSizing,
+								Arch:      sel.Architecture,
+							})
 						}
-						var probe uvm.Config
-						if err := sel.Apply(&probe); err != nil {
-							return nil, err
-						}
-						pts = append(pts, PointConfig{
-							Workload:  js.Workload,
-							MB:        js.MB,
-							N:         js.N,
-							Seed:      js.Seed,
-							BatchSize: bs,
-							CapMB:     capMB,
-							Evict:     sel.Eviction,
-							Prefetch:  sel.Prefetch,
-							Sizing:    sel.BatchSizing,
-						})
 					}
 				}
 			}
@@ -131,12 +163,14 @@ type PointConfig struct {
 	Evict     string `json:"evict"`
 	Prefetch  string `json:"prefetch"`
 	Sizing    string `json:"batch_sizing"`
+	Arch      string `json:"arch"`
 }
 
 // digestVersion is folded into every config digest. Bump it whenever the
 // simulation or the artifact schema changes meaning, so stale cached
 // results from an older binary are never served as current.
-const digestVersion = 1
+// v2: PointConfig gained the architecture dimension.
+const digestVersion = 2
 
 // Digest is the content address of this point: FNV-1a over the version
 // tag and every field, in declaration order.
@@ -152,6 +186,7 @@ func (p PointConfig) Digest() uint64 {
 		String(p.Evict).
 		String(p.Prefetch).
 		String(p.Sizing).
+		String(p.Arch).
 		Sum()
 }
 
@@ -194,9 +229,10 @@ func SimulatePoint(pc PointConfig) (PointRow, uint64, error) {
 	cfg.Driver.BatchSize = pc.BatchSize
 	cfg.Driver.GPUMemBytes = uint64(pc.CapMB) << 20
 	cfg.Policies = uvm.PolicySelection{
-		Eviction:    pc.Evict,
-		Prefetch:    pc.Prefetch,
-		BatchSizing: pc.Sizing,
+		Eviction:     pc.Evict,
+		Prefetch:     pc.Prefetch,
+		BatchSizing:  pc.Sizing,
+		Architecture: pc.Arch,
 	}
 	cfg.Audit.Enabled = true
 	cfg.Audit.Interval = 8

@@ -20,6 +20,9 @@ type BlockAudit struct {
 	LastTouch int
 	AllocSeq  int
 	Evictions int
+	// RemoteMapped marks pages GPU-mapped into host memory (the
+	// access-counter architecture); always empty elsewhere.
+	RemoteMapped mem.PageSet
 }
 
 // AuditState is the canonical snapshot of the driver: every known VABlock
@@ -76,15 +79,16 @@ func (d *Driver) AuditState() AuditState {
 	// order the former sorted-keys walk produced.
 	d.blocks.Range(func(_ mem.VABlockID, b *blockState) bool {
 		st.Blocks = append(st.Blocks, BlockAudit{
-			ID:        b.id,
-			Resident:  b.resident,
-			Populated: b.populated,
-			HasChunk:  b.hasChunk,
-			Chunk:     b.chunk,
-			DMAMapped: b.dmaMapped,
-			LastTouch: b.lastTouch,
-			AllocSeq:  b.allocSeq,
-			Evictions: b.evictions,
+			ID:           b.id,
+			Resident:     b.resident,
+			Populated:    b.populated,
+			HasChunk:     b.hasChunk,
+			Chunk:        b.chunk,
+			DMAMapped:    b.dmaMapped,
+			LastTouch:    b.lastTouch,
+			AllocSeq:     b.allocSeq,
+			Evictions:    b.evictions,
+			RemoteMapped: b.remoteMapped,
 		})
 		return true
 	})
@@ -110,6 +114,11 @@ func (d *Driver) Digest() uint64 {
 		}
 		h = h.Bool(b.DMAMapped)
 		h = h.Int(b.LastTouch).Int(b.AllocSeq).Int(b.Evictions)
+		// Remote mappings fold in only when present, keeping host-driven
+		// digests bit-identical to their pre-lift goldens.
+		if b.RemoteMapped.Any() {
+			h = h.Words(b.RemoteMapped[:])
+		}
 	}
 	h = h.Int(len(st.AllocatedOrder))
 	for _, id := range st.AllocatedOrder {
@@ -125,6 +134,11 @@ func (d *Driver) Digest() uint64 {
 	h = h.Int(s.AsyncUnmapCalls).Int64(int64(s.AsyncUnmapTime))
 	h = h.Int(s.MigRetries).Int(s.HostAllocFailures).Int(s.BatchShrinks)
 	h = h.Uint64(s.ExplicitBytes).Uint64(s.InjMigRetryBytes)
+	// Architecture telemetry folds in only when non-zero (host-driven
+	// runs never touch it).
+	if s.RemoteMappedPages != 0 || s.CounterPromotions != 0 {
+		h = h.Int(s.RemoteMappedPages).Int(s.CounterPromotions)
+	}
 	// Hardware fault-domain state folds in only when the domain is
 	// attached, so default runs keep their historical digests.
 	if d.hw != nil {
@@ -148,6 +162,9 @@ func (st AuditState) Dump() string {
 			blk.ID, blk.Resident.Count(), blk.Populated.Count(), blk.HasChunk)
 		if blk.HasChunk {
 			fmt.Fprintf(&b, " (#%d)", blk.Chunk)
+		}
+		if n := blk.RemoteMapped.Count(); n > 0 {
+			fmt.Fprintf(&b, ", remote %d", n)
 		}
 		fmt.Fprintf(&b, ", dma %v, lastTouch %d, seq %d, evictions %d\n",
 			blk.DMAMapped, blk.LastTouch, blk.AllocSeq, blk.Evictions)

@@ -153,6 +153,16 @@ type Config struct {
 	// EvictionSeed seeds EvictRandom.
 	EvictionSeed uint64
 
+	// Architecture names the registered UVM architecture (the stage graph
+	// itself — see arch.go). Empty resolves to "host-driven", the paper's
+	// design; anything else must name a registered architecture or
+	// Validate rejects it with an UnknownPolicyError.
+	Architecture string
+	// AccessCounterThreshold is the per-block remote-access count at which
+	// the access-counter architecture promotes a remote-mapped block to
+	// GPU residency (0 lets the architecture apply its default).
+	AccessCounterThreshold int
+
 	// Costs are the driver-side time constants.
 	Costs CostModel
 }
@@ -191,6 +201,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("uvm: AdaptiveMin = %d, need in [1, BatchSize]", c.AdaptiveMin)
 	case c.CrossBlockPrefetch < 0:
 		return fmt.Errorf("uvm: CrossBlockPrefetch = %d, need >= 0", c.CrossBlockPrefetch)
+	case c.AccessCounterThreshold < 0:
+		return fmt.Errorf("uvm: AccessCounterThreshold = %d, need >= 0", c.AccessCounterThreshold)
+	}
+	if c.Architecture != "" {
+		if _, ok := architectureRegistry.lookup(c.Architecture); !ok {
+			return architectureRegistry.unknown(c.Architecture)
+		}
 	}
 	if c.Eviction != "" {
 		if _, ok := evictionRegistry.lookup(string(c.Eviction)); !ok {
@@ -231,6 +248,15 @@ func (c Config) BatchSizingName() string {
 		return "adaptive"
 	}
 	return "fixed"
+}
+
+// ArchitectureName returns the effective architecture registry name
+// ("host-driven" when the field is empty).
+func (c Config) ArchitectureName() string {
+	if c.Architecture == "" {
+		return "host-driven"
+	}
+	return c.Architecture
 }
 
 // CapacityBlocks returns how many 2 MB chunks fit in GPU memory.

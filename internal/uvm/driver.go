@@ -40,6 +40,9 @@ type blockState struct {
 	allocSeq int
 	// evictions counts how many times this block was evicted.
 	evictions int
+	// remoteMapped marks pages mapped for GPU access while staying in
+	// host memory (access-counter architecture); always empty elsewhere.
+	remoteMapped mem.PageSet
 }
 
 // Stats aggregates driver-level counters beyond per-batch records.
@@ -75,6 +78,12 @@ type Stats struct {
 	// migration failures: the link charged them, but no batch record
 	// counts them as migrated.
 	InjMigRetryBytes uint64
+	// RemoteMappedPages counts pages serviced by remote mapping instead
+	// of migration; CounterPromotions counts blocks promoted to GPU
+	// residency after their access counter crossed the threshold. Both
+	// are only non-zero under the access-counter architecture.
+	RemoteMappedPages int
+	CounterPromotions int
 
 	// Hardware fault-domain telemetry (all zero unless a hardware
 	// injector is attached; see SetHardware).
@@ -187,10 +196,16 @@ type Driver struct {
 
 	// evict/planner/sizer are the policies resolved from the registry at
 	// construction (registry.go): victim selection, migration planning,
-	// and effective-batch-size adjustment.
-	evict   EvictionStrategy
-	planner PrefetchPlanner
-	sizer   BatchSizer
+	// and effective-batch-size adjustment. arch is the resolved
+	// architecture payload — the stage graph plus device wiring (arch.go);
+	// stepCosts is the profiled path's per-step scratch (a fixed array so
+	// construction stays allocation-neutral; architectures declare at
+	// most maxBlockSteps steps).
+	evict     EvictionStrategy
+	planner   PrefetchPlanner
+	sizer     BatchSizer
+	arch      *archPayload
+	stepCosts [maxBlockSteps]sim.Time
 
 	evictRNG *sim.RNG
 	inj      *faultinject.Injector
@@ -237,12 +252,24 @@ func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Li
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	arch, err := resolveArchitecture(cfg.Architecture)
+	if err != nil {
+		return nil, err
+	}
+	if arch.configure != nil {
+		// Architecture-specific config rewrites (cost model, threshold
+		// defaults) apply to this driver's copy only.
+		arch.configure(&cfg)
+	}
+	pmm := gpumem.New(cfg.GPUMemBytes)
+	pmm.SetManager(arch.info.MappingOwner)
 	return &Driver{
 		cfg:       cfg,
+		arch:      arch,
 		eng:       eng,
 		vm:        vm,
 		link:      link,
-		pmm:       gpumem.New(cfg.GPUMemBytes),
+		pmm:       pmm,
 		nextAlloc: mem.VABlockSize, // keep address 0 unused
 		sleeping:  true,
 		effBatch:  cfg.BatchSize,
@@ -259,8 +286,14 @@ func NewDriver(cfg Config, eng *sim.Engine, vm *hostos.VM, link *interconnect.Li
 func (d *Driver) Attach(dev *gpu.Device) {
 	d.dev = dev
 	dev.SetInterruptHandler(d.onInterrupt)
-	if d.cfg.Eviction == EvictLFU {
+	if d.cfg.Eviction == EvictLFU || d.arch.counters {
 		dev.Counters.Enable()
+	}
+	if d.arch.counters {
+		dev.Counters.SetThreshold(uint64(d.cfg.AccessCounterThreshold))
+	}
+	if d.arch.directObs {
+		dev.SetDirectObservation()
 	}
 }
 

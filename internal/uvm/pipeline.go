@@ -67,6 +67,10 @@ type blockCtx struct {
 	faulted   mem.PageSet
 	toMigrate mem.PageSet
 	cost      sim.Time
+	// done, when set by a step, short-circuits the remaining block steps:
+	// the block was fully serviced early (e.g. remote-mapped by the
+	// access-counter gate instead of migrated).
+	done bool
 }
 
 // stage is one batch-level phase. A stage reads and mutates the batch
@@ -82,12 +86,9 @@ type blockStep interface {
 	run(d *Driver, bc *batchCtx, blk *blockCtx) error
 }
 
-// batchStages is the fixed stage order; stages are stateless, so the
-// singletons are shared by every driver.
-var batchStages = []stage{dedupStage{}, serviceStage{}, crossBlockStage{}, replayStage{}}
-
-// blockSteps is the fixed per-VABlock step order.
-var blockSteps = []blockStep{residencyStep{}, prefetchPlanStep{}, populateStep{}, transferStep{}}
+// The stage and block-step orders are no longer fixed here: the selected
+// architecture (arch.go) declares them, and the driver dispatches through
+// d.arch. Stages stay stateless singletons shared by every driver.
 
 // serviceBatch runs the batch through the stage pipeline. It is entered
 // from the fetch front-end with the engine clock at batch start +
@@ -112,7 +113,7 @@ func (d *Driver) serviceBatch(start sim.Time, faults []gpu.Fault, tFetch sim.Tim
 	if d.prof != nil {
 		d.prof.BeginBatch(start, d.eng.Now(), faults)
 	}
-	for _, st := range batchStages {
+	for _, st := range d.arch.stages {
 		if err := st.run(d, bc); err != nil {
 			d.fail(err)
 			return
@@ -156,27 +157,38 @@ func (d *Driver) runBlock(bid mem.VABlockID, pages []mem.PageID, eager bool, bc 
 	blk.faulted.Reset()
 	blk.toMigrate.Reset()
 	blk.cost = d.cfg.Costs.PerVABlock
+	blk.done = false
 	bc.rec.TBlockMgmt += d.cfg.Costs.PerVABlock
 	if d.prof == nil {
-		for _, st := range blockSteps {
+		for _, st := range d.arch.blockSteps {
 			if err := st.run(d, bc, blk); err != nil {
 				return blk.cost, err
+			}
+			if blk.done {
+				break
 			}
 		}
 		return blk.cost, nil
 	}
 	// Profiled path: identical step sequence, but the per-step cost
 	// deltas are captured for attribution (the steps themselves only add
-	// to blk.cost, so before/after differencing is exact).
-	var steps [numBlockSteps]sim.Time
-	for i, st := range blockSteps {
+	// to blk.cost, so before/after differencing is exact). stepCosts is
+	// driver-held scratch sliced to the architecture's step count.
+	steps := d.stepCosts[:len(d.arch.blockSteps)]
+	for i := range steps {
+		steps[i] = 0
+	}
+	for i, st := range d.arch.blockSteps {
 		before := blk.cost
 		if err := st.run(d, bc, blk); err != nil {
 			return blk.cost, err
 		}
 		steps[i] = blk.cost - before
+		if blk.done {
+			break
+		}
 	}
-	d.prof.BlockServiced(bid, len(pages), eager, &steps, blk.cost)
+	d.prof.BlockServiced(bid, len(pages), eager, steps, blk.cost)
 	return blk.cost, nil
 }
 

@@ -41,22 +41,19 @@ type PipelineProfiler interface {
 	// (start + BatchSetup + TFetch).
 	BeginBatch(start, entered sim.Time, faults []gpu.Fault)
 	// BlockServiced reports one VABlock completing the block-step
-	// pipeline. steps holds the per-step virtual-time costs in blockSteps
-	// order (residency, prefetch-plan, populate, transfer); total is the
-	// block's full cost including the fixed per-VABlock management
-	// charge. pages counts the faulted pages serviced (0 for an eager
-	// cross-block migration); eager marks cross-block whole-block
-	// migrations.
-	BlockServiced(bid mem.VABlockID, pages int, eager bool, steps *[numBlockSteps]sim.Time, total sim.Time)
+	// pipeline. steps holds the per-step virtual-time costs in the
+	// architecture's declared block-step order (ArchitectureInfo.BlockSteps
+	// is the label contract); its length is fixed for the driver's
+	// lifetime but driver-owned — copy, don't retain. total is the block's
+	// full cost including the fixed per-VABlock management charge. pages
+	// counts the faulted pages serviced (0 for an eager cross-block
+	// migration); eager marks cross-block whole-block migrations.
+	BlockServiced(bid mem.VABlockID, pages int, eager bool, steps []sim.Time, total sim.Time)
 	// EndBatch reports the batch record landing in the collector, before
 	// the batch observers run — profiler-derived metrics are current by
 	// the time the obs sampler reads the registry.
 	EndBatch(id int, rec *trace.BatchRecord)
 }
-
-// numBlockSteps is the length of the blockSteps pipeline; the profiler's
-// step-cost array is sized by it so the seam cannot drift from the graph.
-const numBlockSteps = 4
 
 // SetProfiler attaches a pipeline profiler to the batch-servicing hot
 // path. Call before Run; a nil profiler (the default) keeps every hook a

@@ -12,6 +12,8 @@ package uvm
 //	               (prefetchplan.go), including cross-block scope
 //	batch-sizing — effective-batch adjustment in the replay stage
 //	               (replay.go)
+//	architecture — the stage graph itself: fault-observation point, stage
+//	               list, and mapping-state owner (arch.go)
 //
 // Policies are resolved by string name from guvm.SystemConfig, the CLI
 // flags, and the experiment ablations; an unregistered name is rejected
@@ -30,9 +32,10 @@ import (
 type PolicyKind string
 
 const (
-	KindEviction    PolicyKind = "eviction"
-	KindPrefetch    PolicyKind = "prefetch"
-	KindBatchSizing PolicyKind = "batch-sizing"
+	KindEviction     PolicyKind = "eviction"
+	KindPrefetch     PolicyKind = "prefetch"
+	KindBatchSizing  PolicyKind = "batch-sizing"
+	KindArchitecture PolicyKind = "architecture"
 )
 
 // PolicyInfo describes one registered policy for listings.
@@ -238,10 +241,10 @@ func RegisterEvictionPolicy(name, description string, s EvictionStrategy) error 
 }
 
 // Policies lists every registered policy of every kind, in registration
-// order (eviction, then prefetch, then batch sizing).
+// order (eviction, then prefetch, then batch sizing, then architecture).
 func Policies() []PolicyInfo {
 	var out []PolicyInfo
-	for _, t := range []*policyTable{evictionRegistry, prefetchRegistry, sizingRegistry} {
+	for _, t := range []*policyTable{evictionRegistry, prefetchRegistry, sizingRegistry, architectureRegistry} {
 		for _, e := range t.entries {
 			out = append(out, e.info)
 		}
@@ -277,9 +280,10 @@ func ResolveEviction(name string) (EvictionPolicy, error) {
 // leave the corresponding Config knobs untouched, so the zero value is a
 // no-op and legacy knob-based configuration keeps working unchanged.
 type PolicySelection struct {
-	Eviction    string
-	Prefetch    string
-	BatchSizing string
+	Eviction     string
+	Prefetch     string
+	BatchSizing  string
+	Architecture string
 }
 
 // Apply resolves each named policy and rewrites c's typed knobs to the
@@ -307,6 +311,15 @@ func (s PolicySelection) Apply(c *Config) error {
 			return sizingRegistry.unknown(s.BatchSizing)
 		}
 		e.payload.(sizingPayload).apply(c)
+	}
+	if s.Architecture != "" {
+		if _, ok := architectureRegistry.lookup(s.Architecture); !ok {
+			return architectureRegistry.unknown(s.Architecture)
+		}
+		// Architecture-specific config rewrites (cost model, thresholds)
+		// happen in NewDriver, so direct Config.Architecture assignment and
+		// registry selection behave identically.
+		c.Architecture = s.Architecture
 	}
 	return nil
 }

@@ -73,6 +73,79 @@ func (residencyStep) run(d *Driver, bc *batchCtx, blk *blockCtx) error {
 	return nil
 }
 
+// counterGateStep is the access-counter architecture's delayed-migration
+// gate, run before the standard steps. A faulting block below the access
+// threshold is serviced by remote mapping: the pages stay in host memory
+// (populated and DMA-mapped, GPU PTEs pointing across the link) and the
+// remaining steps are skipped. Once the device's access counter for the
+// block crosses the threshold the gate promotes it: the remote-mapped
+// pages join the migration set and the block falls through to the
+// standard residency/transfer pipeline, which makes it GPU-resident.
+type counterGateStep struct{}
+
+func (counterGateStep) name() string { return "counter-gate" }
+
+func (counterGateStep) run(d *Driver, bc *batchCtx, blk *blockCtx) error {
+	if blk.eager {
+		return nil // cross-block migrations bypass the gate
+	}
+	b := d.blocks.Lookup(blk.bid)
+	if b == nil {
+		b = &blockState{id: blk.bid}
+		d.blocks.Set(blk.bid, b)
+	}
+	blk.b = b
+
+	if d.dev.Counters.Read(blk.bid) >= uint64(d.cfg.AccessCounterThreshold) {
+		// Promote: the remote-mapped pages join this batch's migration
+		// set and the standard steps migrate them alongside the faults.
+		if b.remoteMapped.Any() {
+			blk.toMigrate.Union(&b.remoteMapped)
+			d.stats.CounterPromotions++
+		}
+		d.dev.Counters.Clear(blk.bid)
+		return nil
+	}
+
+	// Below threshold: service the faults by remote mapping. First-touch
+	// DMA setup and population still happen (the data must exist in host
+	// memory for the GPU to reach it), then fresh GPU PTEs are installed
+	// pointing at host memory.
+	for _, p := range blk.pages {
+		blk.faulted.Set(p.IndexInBlock())
+	}
+	if !b.dmaMapped {
+		t := d.vm.MapDMA(blk.bid)
+		blk.cost += t
+		bc.rec.TDMAMap += t
+		bc.rec.NewDMABlocks++
+		b.dmaMapped = true
+	}
+	var newPages mem.PageSet
+	newPages.Union(&blk.faulted)
+	newPages.Subtract(&b.populated)
+	if n := newPages.Count(); n > 0 {
+		t, err := d.populateWithRetry(blk.bid, n, bc)
+		blk.cost += t
+		if err != nil {
+			return err
+		}
+	}
+	var fresh mem.PageSet
+	fresh.Union(&blk.faulted)
+	fresh.Subtract(&b.remoteMapped)
+	if n := fresh.Count(); n > 0 {
+		pt := sim.Time(n) * d.cfg.Costs.PageTablePerPage
+		blk.cost += pt
+		bc.rec.TPageTable += pt
+		d.stats.RemoteMappedPages += n
+	}
+	b.remoteMapped.Union(&blk.faulted)
+	b.populated.Union(&blk.faulted)
+	blk.done = true
+	return nil
+}
+
 // hasEvictionCandidate reports whether any allocated block other than
 // current could be evicted.
 func (d *Driver) hasEvictionCandidate(current mem.VABlockID) bool {

@@ -85,9 +85,11 @@ func (transferStep) run(d *Driver, bc *batchCtx, blk *blockCtx) error {
 	blk.cost += pt
 	rec.TPageTable += pt
 
-	// Mark residency.
+	// Mark residency. Migrated pages stop being remote-mapped (the
+	// access-counter promotion path); the subtract is a no-op elsewhere.
 	blk.b.resident.Union(&blk.toMigrate)
 	blk.b.populated.Union(&blk.toMigrate)
+	blk.b.remoteMapped.Subtract(&blk.toMigrate)
 	return nil
 }
 

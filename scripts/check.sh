@@ -66,6 +66,18 @@ curl -s "http://$addr/status" | grep -q '"workload"'
 kill "$simpid" 2> /dev/null || true
 wait "$simpid" 2> /dev/null || true
 
+# Architecture gate: every registered UVM architecture must complete the
+# audited vecadd run (invariants hold under all three stage graphs), the
+# two alternatives must be digest-deterministic, and the architecture
+# comparison experiment must be byte-identical at -jobs 1 vs -jobs 8.
+for arch in host-driven gpu-driven access-counter; do
+  go run ./cmd/uvmsim -workload vecadd -audit -arch "$arch" > /dev/null
+  go run ./cmd/uvmsim -workload vecadd -arch "$arch" -verify-determinism > /dev/null
+done
+go run ./cmd/paperfigs -only exp_architectures -out "$tmpdir/arch1" -jobs 1 > /dev/null
+go run ./cmd/paperfigs -only exp_architectures -out "$tmpdir/arch8" -jobs 8 > /dev/null
+diff -r "$tmpdir/arch1" "$tmpdir/arch8"
+
 # Chaos gate: SIGKILL the sweep service mid-sweep; the restart must
 # recover the journal, finish the job from cache, and produce digests
 # identical to a fresh-store run.

@@ -26,15 +26,20 @@ if [ "$lines" -gt 500 ]; then
   fail "internal/uvm/driver.go is $lines lines (>500): stage logic belongs in the per-stage files"
 fi
 
-# 3. Stage entry points live in their stage files, not in driver.go.
+# 3. Stage entry points live in their stage files, not in driver.go, and
+#    the stage graphs live in the architecture registry (arch.go) since
+#    the PR-10 lift — pipeline.go only dispatches through d.arch.
 for sym in 'dedupStage' 'serviceStage' 'crossBlockStage' 'replayStage' \
-           'residencyStep' 'prefetchPlanStep' 'populateStep' 'transferStep'; do
+           'residencyStep' 'prefetchPlanStep' 'populateStep' 'transferStep' \
+           'counterGateStep'; do
   if grep -q "func ($sym)" internal/uvm/driver.go 2>/dev/null; then
     fail "stage method $sym defined in driver.go; move it to its stage file"
   fi
 done
-grep -q 'var batchStages' internal/uvm/pipeline.go || fail "pipeline.go lost the batchStages stage graph"
-grep -q 'var blockSteps' internal/uvm/pipeline.go || fail "pipeline.go lost the blockSteps stage graph"
+[ -f internal/uvm/arch.go ] || fail "missing architecture registry internal/uvm/arch.go"
+grep -q 'hostBatchStages' internal/uvm/arch.go || fail "arch.go lost the hostBatchStages stage graph"
+grep -q 'hostBlockSteps' internal/uvm/arch.go || fail "arch.go lost the hostBlockSteps stage graph"
+grep -q 'registerArchitecture' internal/uvm/arch.go || fail "arch.go lost registerArchitecture"
 
 # 4. Hot-path structural guards (PR 8). The calendar-queue engine swap
 #    and the struct-of-arrays batch stages are load-bearing perf work;
@@ -81,12 +86,31 @@ for f in internal/uvm/*.go; do
   fi
 done
 
-# 6. CLIs select policies by registry name (SystemConfig.Policies), never
+# 6. Stage implementations stay architecture-agnostic (PR 10): all
+#    architecture dispatch goes through the registry's stage/block-step
+#    lists, so no stage file may branch on the selected architecture.
+#    (arch.go itself declares the graphs; driver.go applies the payload
+#    at construction — both are exempt.)
+for f in internal/uvm/pipeline.go internal/uvm/fetch.go internal/uvm/dedup.go \
+         internal/uvm/prefetchplan.go internal/uvm/residency.go \
+         internal/uvm/transfer.go internal/uvm/replay.go; do
+  if grep -qn 'cfg\.Architecture\|\.arch\.info\.Name\|Architecture ==' "$f"; then
+    fail "$f branches on the selected architecture; stages must stay architecture-agnostic (dispatch via arch.go)"
+  fi
+done
+
+# 7. CLIs select policies by registry name (SystemConfig.Policies), never
 #    by writing the eviction knob directly — direct writes bypass the
-#    unknown-name validation and the -list-policies contract.
-for cli in uvmsim uvmsweep faultviz paperfigs; do
+#    unknown-name validation and the -list-policies contract. Since the
+#    shared flag block (uvm.RegisterPolicyFlags) they must also not
+#    re-declare the policy flags locally, so names and help text cannot
+#    drift between tools.
+for cli in uvmsim uvmsweep faultviz paperfigs sweepd; do
   if grep -qn 'Driver\.Eviction[[:space:]]*=' "cmd/$cli/main.go"; then
     fail "cmd/$cli sets Driver.Eviction directly; route it through Policies (the registry)"
+  fi
+  if grep -qn 'flag\.String("evict"\|flag\.String("arch"' "cmd/$cli/main.go"; then
+    fail "cmd/$cli declares its own policy flags; use uvm.RegisterPolicyFlags / RegisterPolicyListFlags"
   fi
 done
 
